@@ -1,0 +1,25 @@
+# Convenience targets for the FinePack reproduction.
+
+.PHONY: install test bench quick docs report clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+quick:
+	pytest tests/ -x -q -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+docs:
+	python tools/gen_api_docs.py
+
+report:
+	python examples/reproduce_paper.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,68 @@
+"""Sec. VI-B ablation: the stateful configuration-packet alternative.
+
+Replays every FinePack window the suite actually produces through the
+config-packet cost model and compares wire bytes.  Shape target: the
+alternative is ~18% less efficient for typical payload-full windows
+because each store remains an independent TLP paying its own sequence
+number and CRCs (a 10-byte-per-store penalty).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.alt_designs import ConfigPacketDesign
+from repro.core.config import FinePackConfig
+from repro.core.egress import FinePackEgress
+from repro.interconnect.pcie import PCIE_GEN4, PCIeProtocol
+from repro.workloads import PagerankWorkload, SSSPWorkload
+
+
+def _collect_ratios():
+    """Per-window wire-byte ratio (config-packet design / FinePack)."""
+    config = FinePackConfig()
+    protocol = PCIeProtocol(PCIE_GEN4)
+    design = ConfigPacketDesign(config, protocol)
+    out = {}
+    for workload in (PagerankWorkload(), SSSPWorkload()):
+        trace = workload.generate_trace(n_gpus=4, iterations=1, seed=7)
+        ratios, packed = [], []
+        for phase in trace.iterations[0].phases:
+            engine = FinePackEgress(config, protocol, phase.gpu, trace.n_gpus)
+            msgs = []
+            s = phase.stores
+            for a, n, d in zip(s.addrs.tolist(), s.sizes.tolist(), s.dsts.tolist()):
+                msgs += engine.on_store(a, n, d, 0.0)
+            msgs += engine.on_release(0.0)
+            for m in msgs:
+                packet = m.meta["packet"]
+                ratios.append(design.efficiency_vs_finepack(packet))
+                packed.append(packet.stores_absorbed)
+        out[workload.name] = (
+            float(np.mean(ratios)),
+            float(np.mean(packed)),
+        )
+    return out
+
+
+def test_ablation_config_packet_design(benchmark, emit):
+    results = benchmark.pedantic(_collect_ratios, rounds=1, iterations=1)
+
+    rows = [
+        [name, mean_packed, ratio, f"{(ratio - 1) * 100:.0f}% worse"]
+        for name, (ratio, mean_packed) in results.items()
+    ]
+    emit(
+        "ablation_config_packet",
+        format_table(
+            "Sec. VI-B ablation: config-packet design vs FinePack "
+            "(paper: ~18% less efficient at 32-64 stores)",
+            ["workload", "stores/window", "wire ratio", "penalty"],
+            rows,
+            float_fmt="{:.2f}",
+        ),
+    )
+
+    for name, (ratio, _) in results.items():
+        # The alternative always moves more bytes; for these fine-grained
+        # workloads the penalty is well beyond the paper's 18% floor.
+        assert ratio > 1.15, name

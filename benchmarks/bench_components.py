@@ -1,0 +1,74 @@
+"""Component micro-benchmarks (simulator throughput, not paper figures).
+
+Times the hot paths of the reproduction itself -- remote-write-queue
+insertion, packetization, warp coalescing, interval algebra -- so
+regressions in the simulator's own performance are visible.
+"""
+
+import numpy as np
+
+from repro.core.config import FinePackConfig
+from repro.core.egress import FinePackEgress
+from repro.core.packetizer import Packetizer
+from repro.core.remote_write_queue import FlushReason, QueuePartition
+from repro.gpu.coalescer import coalesce_stream
+from repro.interconnect.pcie import PCIE_GEN4, PCIeProtocol
+from repro.trace.intervals import IntervalSet
+
+BASE = 1 << 34
+
+
+def test_bench_queue_insert_throughput(benchmark):
+    config = FinePackConfig()
+    rng = np.random.default_rng(0)
+    addrs = (BASE + rng.integers(0, 1 << 20, 4096) * 8).tolist()
+
+    def insert_all():
+        p = QueuePartition(config, dst=1)
+        for a in addrs:
+            p.insert(a, 8)
+        p.flush(FlushReason.RELEASE)
+
+    benchmark(insert_all)
+
+
+def test_bench_finepack_egress_throughput(benchmark):
+    config = FinePackConfig()
+    protocol = PCIeProtocol(PCIE_GEN4)
+    rng = np.random.default_rng(0)
+    addrs = (BASE + rng.integers(0, 1 << 20, 4096) * 8).tolist()
+
+    def run():
+        eg = FinePackEgress(config, protocol, src=0, n_gpus=2)
+        for a in addrs:
+            eg.on_store(a, 8, 1, 0.0)
+        eg.on_release(0.0)
+
+    benchmark(run)
+
+
+def test_bench_packetizer(benchmark, config, protocol):
+    p = QueuePartition(config, dst=1)
+    for i in range(64):
+        p.insert(BASE + i * 128, 8)
+    window = p.flush(FlushReason.RELEASE)
+    packetizer = Packetizer(config, protocol)
+    benchmark(lambda: packetizer.packetize(window))
+
+
+def test_bench_warp_coalescer(benchmark, rng):
+    addrs = rng.integers(0, 1 << 24, 100_000).astype(np.int64) * 4
+    sizes = np.full(100_000, 8, dtype=np.int64)
+    benchmark(lambda: coalesce_stream(addrs, sizes))
+
+
+def test_bench_interval_algebra(benchmark, rng):
+    a = IntervalSet.from_ranges(
+        rng.integers(0, 1 << 22, 20_000).astype(np.int64),
+        rng.integers(1, 64, 20_000).astype(np.int64),
+    )
+    b = IntervalSet.from_ranges(
+        rng.integers(0, 1 << 22, 20_000).astype(np.int64),
+        rng.integers(1, 64, 20_000).astype(np.int64),
+    )
+    benchmark(lambda: a.intersect(b).total_bytes)

@@ -1,0 +1,37 @@
+"""Figure 2: interconnect goodput vs. peer-to-peer store size.
+
+Regenerates the percentage-of-useful-bytes curve for PCIe and NVLink
+over the paper's 4 B - 16 KB size sweep.  Shape targets: sub-32 B
+stores at or below ~half efficiency, near-1.0 goodput for multi-KB
+transfers, and the NVLink byte-enable-flit non-monotonicity.
+"""
+
+from repro.analysis import format_table, goodput_curve
+
+
+def test_fig02_goodput_curve(benchmark, emit):
+    points = benchmark.pedantic(goodput_curve, rounds=1, iterations=1)
+
+    rows = [
+        [p.size, p.pcie, p.nvlink, "measured" if p.measured else "projected"]
+        for p in points
+    ]
+    emit(
+        "fig02_goodput",
+        format_table(
+            "Figure 2: goodput vs transfer size",
+            ["size_B", "pcie", "nvlink", "regime"],
+            rows,
+        ),
+    )
+
+    by_size = {p.size: p for p in points}
+    # Paper: 32 B transfers roughly half as efficient as >=128 B.
+    assert by_size[32].pcie / by_size[128].pcie < 0.75
+    assert by_size[32].pcie <= 0.55
+    # Bulk transfers approach full efficiency.
+    assert by_size[16384].pcie > 0.98
+    assert by_size[16384].nvlink > 0.9
+    # Goodput grows with size on PCIe.
+    pcie = [p.pcie for p in points]
+    assert pcie == sorted(pcie)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the figure-reproduction benchmark harness.
+
+The full-suite comparison (all 8 workloads x 6 paradigms + single-GPU
+baselines) is computed once per session and shared by the Figure 9, 10
+and 11 benches.  Each bench prints the paper-format table to stdout and
+also writes it under ``benchmarks/results/`` so the numbers survive the
+pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import FinePackConfig
+from repro.interconnect.pcie import PCIE_GEN4, PCIeProtocol
+from repro.sim.runner import ComparisonResult, ExperimentConfig, compare_paradigms
+from repro.workloads import default_suite
+
+
+@pytest.fixture
+def protocol() -> PCIeProtocol:
+    return PCIeProtocol(PCIE_GEN4)
+
+
+@pytest.fixture
+def config() -> FinePackConfig:
+    return FinePackConfig()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+ALL_PARADIGMS = ("p2p", "dma", "finepack", "wc", "gps", "infinite")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return ExperimentConfig(n_gpus=4, iterations=3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def suite_results(experiment_config) -> dict[str, ComparisonResult]:
+    """The paper's core experiment over the whole application suite."""
+    results: dict[str, ComparisonResult] = {}
+    for workload in default_suite():
+        results[workload.name] = compare_paradigms(
+            workload, paradigms=ALL_PARADIGMS, config=experiment_config
+        )
+    return results
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

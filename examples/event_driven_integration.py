@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Execution-driven integration: couple live code to the simulator.
+
+The paper's NVAS substrate is trace- *and execution*-driven.  This
+example shows the execution-driven front end: an actual (toy) producer
+/consumer program runs in Python, and every remote store / fence it
+performs is fed to :class:`repro.sim.EventReplaySession` as it happens
+-- no trace file in between.
+
+The program is a two-GPU pipeline: GPU 0 runs a sparse update kernel
+whose writes stream to GPU 1's replica, with a fence per tile.  We run
+it twice -- raw P2P stores vs FinePack -- and compare the wire traffic
+the *same execution* produced.
+
+    python examples/event_driven_integration.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.gpu.consistency import Scope
+from repro.sim import EventReplaySession, MultiGPUSystem
+from repro.sim.paradigms import FinePackParadigm, P2PStoreParadigm
+from repro.trace.events import fence, store
+
+BASE = 1 << 34  # GPU 1's aperture
+
+
+def run_program(session: EventReplaySession) -> None:
+    """The 'application': sparse tile updates with per-tile fences."""
+    rng = np.random.default_rng(42)
+    t = 0.0
+    for tile in range(20):
+        tile_base = BASE + tile * 65_536
+        # Each tile updates ~100 scattered 8-byte entries.
+        offsets = np.unique(rng.integers(0, 8_000, 100)) * 8
+        for off in offsets:
+            t += 12.0  # the program's own pacing
+            session.feed(store(gpu=0, addr=int(tile_base + off), size=8, dst=1, time=t))
+        t += 500.0
+        session.feed(fence(gpu=0, scope=Scope.SYSTEM, time=t))
+
+
+def main() -> None:
+    rows = []
+    reports = {}
+    for paradigm in (P2PStoreParadigm(), FinePackParadigm()):
+        session = EventReplaySession(MultiGPUSystem.build(n_gpus=2), paradigm)
+        run_program(session)
+        report = session.finish()
+        reports[paradigm.name] = report
+        rows.append(
+            [
+                paradigm.name,
+                report.stores,
+                report.packets.messages,
+                report.wire_bytes / 1e3,
+                report.last_delivery_ns / 1e3,
+            ]
+        )
+    print(
+        format_table(
+            "same execution, two interconnect designs",
+            ["paradigm", "stores", "packets", "wire_kB", "last delivery us"],
+            rows,
+            float_fmt="{:.1f}",
+        )
+    )
+    ratio = reports["p2p"].wire_bytes / reports["finepack"].wire_bytes
+    print(f"\nFinePack moved {ratio:.2f}x less data for the identical "
+          f"event stream, transparently.")
+
+
+if __name__ == "__main__":
+    main()

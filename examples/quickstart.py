@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's core experiment on one workload.
+
+Runs the Jacobi solver on a simulated 4x GV100 / PCIe 4.0 system under
+every communication paradigm and prints 4-GPU speedups over a single
+GPU (the paper's Figure 9 bars) plus the wire-traffic comparison.
+
+    python examples/quickstart.py [workload]
+
+where ``workload`` is one of jacobi, pagerank, sssp, als, ct, eqwp,
+diffusion, hit (default: jacobi).
+"""
+
+import sys
+
+from repro import ExperimentConfig, compare_paradigms
+from repro.analysis import format_table
+from repro.workloads import WORKLOADS
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "jacobi"
+    if name not in WORKLOADS:
+        raise SystemExit(f"unknown workload {name!r}; pick from {sorted(WORKLOADS)}")
+    workload = WORKLOADS[name]()
+
+    print(f"Tracing '{name}' ({workload.comm_pattern} communication) ...")
+    result = compare_paradigms(
+        workload,
+        paradigms=("p2p", "dma", "finepack", "infinite"),
+        config=ExperimentConfig(n_gpus=4, iterations=3),
+    )
+
+    rows = []
+    for paradigm, run in result.runs.items():
+        rows.append(
+            [
+                paradigm,
+                result.speedup(paradigm),
+                run.total_time_ns / 1e6,
+                run.wire_bytes / 1e6,
+                run.goodput,
+                run.packets.mean_stores_per_packet,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            f"{name}: 4-GPU results (single-GPU time "
+            f"{result.single_gpu.total_time_ns / 1e6:.3f} ms)",
+            ["paradigm", "speedup", "time_ms", "wire_MB", "goodput", "stores/pkt"],
+            rows,
+        )
+    )
+    fp = result.runs["finepack"]
+    p2p = result.runs["p2p"]
+    if fp.wire_bytes:
+        print(
+            f"\nFinePack moved {p2p.wire_bytes / fp.wire_bytes:.2f}x less "
+            f"data than raw peer-to-peer stores and ran "
+            f"{result.speedup('finepack') / result.speedup('p2p'):.2f}x faster."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""FinePack reproduction library.
+
+A full reimplementation of the system evaluated in *FinePack:
+Transparently Improving the Efficiency of Fine-Grained Transfers in
+Multi-GPU Systems* (HPCA 2023): the FinePack hardware (remote write
+queue, packetizer, de-packetizer, packet format), the multi-GPU
+simulation substrate (GPU compute/caches/coalescing, PCIe/NVLink
+interconnects, discrete-event system model), the competing
+communication paradigms, and the eight-application workload suite.
+
+Quick start::
+
+    from repro import compare_paradigms, JacobiWorkload
+
+    result = compare_paradigms(JacobiWorkload())
+    print(result.speedups())
+
+See ``examples/`` for complete scripts and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from .core import (
+    DEFAULT_CONFIG,
+    Depacketizer,
+    FinePackConfig,
+    FinePackEgress,
+    FinePackPacket,
+    Packetizer,
+    PassthroughEgress,
+    RemoteWriteQueue,
+    SubTransaction,
+    WriteCombiningEgress,
+)
+from .interconnect import (
+    PCIE_GEN3,
+    PCIE_GEN4,
+    PCIE_GEN5,
+    PCIE_GEN6,
+    NVLinkProtocol,
+    PCIeProtocol,
+    single_switch,
+    two_level_tree,
+)
+from .sim import (
+    ComparisonResult,
+    ExperimentConfig,
+    MultiGPUSystem,
+    RunMetrics,
+    compare_paradigms,
+    geomean,
+    make_paradigm,
+    run_workload,
+)
+from .workloads import (
+    ALSWorkload,
+    CTWorkload,
+    DiffusionWorkload,
+    EQWPWorkload,
+    HITWorkload,
+    JacobiWorkload,
+    PagerankWorkload,
+    SSSPWorkload,
+    default_suite,
+    small_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Depacketizer",
+    "FinePackConfig",
+    "FinePackEgress",
+    "FinePackPacket",
+    "Packetizer",
+    "PassthroughEgress",
+    "RemoteWriteQueue",
+    "SubTransaction",
+    "WriteCombiningEgress",
+    "PCIE_GEN3",
+    "PCIE_GEN4",
+    "PCIE_GEN5",
+    "PCIE_GEN6",
+    "NVLinkProtocol",
+    "PCIeProtocol",
+    "single_switch",
+    "two_level_tree",
+    "ComparisonResult",
+    "ExperimentConfig",
+    "MultiGPUSystem",
+    "RunMetrics",
+    "compare_paradigms",
+    "geomean",
+    "make_paradigm",
+    "run_workload",
+    "ALSWorkload",
+    "CTWorkload",
+    "DiffusionWorkload",
+    "EQWPWorkload",
+    "HITWorkload",
+    "JacobiWorkload",
+    "PagerankWorkload",
+    "SSSPWorkload",
+    "default_suite",
+    "small_suite",
+    "__version__",
+]

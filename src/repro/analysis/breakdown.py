@@ -1,0 +1,45 @@
+"""Byte-breakdown analysis helpers (paper Figure 10)."""
+
+from __future__ import annotations
+
+from ..sim.metrics import RunMetrics
+from ..sim.runner import ComparisonResult
+
+
+def breakdown_rows(
+    result: ComparisonResult, reference: str = "dma"
+) -> list[list[object]]:
+    """Figure 10 rows for one workload: byte categories normalized to
+    the bulk-DMA paradigm's total."""
+    norm = result.bytes_normalized_to(reference)
+    rows = []
+    for paradigm, cats in norm.items():
+        if paradigm == "infinite":
+            continue
+        rows.append(
+            [
+                result.workload,
+                paradigm,
+                cats["useful"],
+                cats["protocol_overhead"],
+                cats["wasted"],
+                cats["total"],
+            ]
+        )
+    return rows
+
+
+def data_reduction_factors(result: ComparisonResult) -> dict[str, float]:
+    """FinePack's wire-byte reduction vs the baselines (the paper's
+    headline '2.7x less data than P2P, 1.3x less than DMA')."""
+    fp = result.runs["finepack"].wire_bytes
+    out = {}
+    for name in ("p2p", "dma", "wc"):
+        if name in result.runs and fp:
+            out[name] = result.runs[name].wire_bytes / fp
+    return out
+
+
+def wasted_fraction(metrics: RunMetrics) -> float:
+    """Share of on-wire bytes that were wasted (redundant or unread)."""
+    return metrics.bytes.wasted / metrics.bytes.total if metrics.bytes.total else 0.0

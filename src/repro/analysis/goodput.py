@@ -1,0 +1,66 @@
+"""Interconnect goodput analysis (paper Figure 2).
+
+Computes the fraction of useful bytes vs. maximum theoretical
+throughput as the per-store transfer size varies, for PCIe and NVLink.
+The paper measures these curves on real systems up to 128 B (P2P stores
+never exceed a cache line) and projects beyond; here the same per-packet
+byte arithmetic produces the whole curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interconnect.nvlink import NVLinkProtocol
+from ..interconnect.pcie import PCIeProtocol
+
+#: The store sizes swept in Figure 2 (bytes).
+FIG2_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+@dataclass(frozen=True)
+class GoodputPoint:
+    size: int
+    pcie: float
+    nvlink: float
+    measured: bool  #: True up to 128 B (directly measurable), projected beyond
+
+
+def goodput_curve(
+    pcie: PCIeProtocol | None = None,
+    nvlink: NVLinkProtocol | None = None,
+    sizes: tuple[int, ...] = FIG2_SIZES,
+) -> list[GoodputPoint]:
+    """The Figure 2 series: goodput per transfer size for both protocols.
+
+    Sizes above each protocol's max payload are carried as a train of
+    max-payload packets (which is how a DMA engine would move them).
+    """
+    pcie = pcie or PCIeProtocol()
+    nvlink = nvlink or NVLinkProtocol()
+    points = []
+    for size in sizes:
+        if size <= pcie.max_payload:
+            p_payload, p_overhead = pcie.store_wire_cost(size)
+        else:
+            p_payload, p_overhead = pcie.bulk_transfer_cost(size)
+        if size <= nvlink.max_payload:
+            n_payload, n_overhead = nvlink.store_wire_cost(size)
+        else:
+            n_payload, n_overhead = nvlink.bulk_transfer_cost(size)
+        points.append(
+            GoodputPoint(
+                size=size,
+                pcie=p_payload / (p_payload + p_overhead),
+                nvlink=n_payload / (n_payload + n_overhead),
+                measured=size <= 128,
+            )
+        )
+    return points
+
+
+def efficiency_ratio(small: int, large: int, pcie: PCIeProtocol | None = None) -> float:
+    """Goodput(large) / goodput(small) on PCIe -- e.g. the paper's
+    '32 B transfers are roughly half as efficient as 128 B'."""
+    pcie = pcie or PCIeProtocol()
+    return pcie.store_goodput(large) / pcie.store_goodput(small)

@@ -1,0 +1,47 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every bench prints the rows/series the corresponding paper figure or
+table reports, in a fixed-width format that is easy to diff across
+runs and paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width table with a title banner."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    rendered = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_table(title: str, speedups: dict[str, dict[str, float]]) -> str:
+    """Workload-by-paradigm speedup matrix (Figure 9 layout)."""
+    paradigms = sorted({p for row in speedups.values() for p in row})
+    headers = ["workload", *paradigms]
+    rows = [
+        [name, *(row.get(p, float("nan")) for p in paradigms)]
+        for name, row in speedups.items()
+    ]
+    return format_table(title, headers, rows, float_fmt="{:.2f}")

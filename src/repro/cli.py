@@ -1,0 +1,321 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show available workloads and paradigms.
+``run``
+    Trace one workload and replay it under one paradigm.
+``compare``
+    The paper's core experiment for one workload: all paradigms plus
+    the single-GPU baseline, with speedups and byte breakdowns.
+``trace``
+    Generate a workload trace and save it to an ``.npz`` file.
+``replay``
+    Replay a saved trace under a paradigm.
+``goodput``
+    Print the Figure 2 goodput table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import format_table, goodput_curve
+from .core.config import FinePackConfig
+from .interconnect.pcie import GENERATIONS
+from .sim.metrics import RunMetrics
+from .sim.paradigms import PARADIGMS, FinePackParadigm, make_paradigm
+from .sim.runner import ExperimentConfig, compare_paradigms, run_workload
+from .sim.system import MultiGPUSystem
+from .trace.tracefile import load_trace, save_trace
+from .workloads import WORKLOADS
+
+
+def _add_system_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--gpus", type=int, default=4, help="GPU count (default 4)")
+    p.add_argument(
+        "--iterations", type=int, default=3, help="iterations to trace (default 3)"
+    )
+    p.add_argument("--seed", type=int, default=7, help="dataset seed (default 7)")
+    p.add_argument(
+        "--gen",
+        type=int,
+        default=4,
+        choices=sorted(GENERATIONS),
+        help="PCIe generation (default 4)",
+    )
+    p.add_argument(
+        "--subheader-bytes",
+        type=int,
+        default=5,
+        help="FinePack sub-header size, 2-6 (default 5)",
+    )
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_gpus=args.gpus,
+        iterations=args.iterations,
+        seed=args.seed,
+        generation=GENERATIONS[args.gen],
+        finepack_config=FinePackConfig(subheader_bytes=args.subheader_bytes),
+    )
+
+
+def _workload(name: str):
+    cls = WORKLOADS.get(name)
+    if cls is None:
+        raise SystemExit(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        )
+    return cls()
+
+
+def _print_metrics(m: RunMetrics, out) -> None:
+    rows = [[k, v] for k, v in m.summary().items()]
+    print(format_table(f"{m.workload} / {m.paradigm}", ["metric", "value"], rows), file=out)
+
+
+def cmd_list(args, out) -> int:
+    rows = [
+        [name, cls().comm_pattern] for name, cls in sorted(WORKLOADS.items())
+    ]
+    print(format_table("workloads", ["name", "communication"], rows), file=out)
+    print(file=out)
+    rows = [[name] for name in sorted(PARADIGMS)]
+    print(format_table("paradigms", ["name"], rows), file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    metrics = run_workload(_workload(args.workload), args.paradigm, _config(args))
+    _print_metrics(metrics, out)
+    if args.timeline:
+        from .sim.timeline import render_timeline
+
+        print(render_timeline(metrics), file=out)
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    from .sim.paradigms import FinePackParadigm
+    from .sim.sweep import sweep
+    from .sim.system import MultiGPUSystem
+
+    workload = _workload(args.workload)
+    if args.param == "subheader":
+        def factory(b):
+            def make():
+                cfg = FinePackConfig(subheader_bytes=b)
+                return (
+                    MultiGPUSystem.build(
+                        n_gpus=args.gpus,
+                        generation=GENERATIONS[args.gen],
+                        finepack_config=cfg,
+                    ),
+                    FinePackParadigm(cfg),
+                )
+
+            return make
+
+        configurations = {f"{b}B": factory(b) for b in (2, 3, 4, 5, 6)}
+    else:  # generation
+        def gen_factory(g):
+            def make():
+                return (
+                    MultiGPUSystem.build(n_gpus=args.gpus, generation=GENERATIONS[g]),
+                    make_paradigm(args.paradigm),
+                )
+
+            return make
+
+        configurations = {f"gen{g}": gen_factory(g) for g in sorted(GENERATIONS)}
+    result = sweep(
+        workload,
+        configurations,
+        n_gpus=args.gpus,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    rows = [
+        [p.label, p.speedup, p.metrics.wire_bytes / 1e6,
+         p.metrics.packets.mean_stores_per_packet]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            f"{args.workload}: {args.param} sweep",
+            ["config", "speedup", "wire_MB", "stores/pkt"],
+            rows,
+            float_fmt="{:.2f}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    result = compare_paradigms(
+        _workload(args.workload), tuple(args.paradigms), _config(args)
+    )
+    rows = [
+        [
+            p,
+            result.speedup(p),
+            result.runs[p].total_time_ns / 1e6,
+            result.runs[p].wire_bytes / 1e6,
+            result.runs[p].packets.mean_stores_per_packet,
+        ]
+        for p in result.runs
+    ]
+    print(
+        format_table(
+            f"{args.workload}: {args.gpus}-GPU comparison "
+            f"(1-GPU time {result.single_gpu.total_time_ns / 1e6:.3f} ms)",
+            ["paradigm", "speedup", "time_ms", "wire_MB", "stores/pkt"],
+            rows,
+            float_fmt="{:.2f}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    trace = _workload(args.workload).generate_trace(
+        n_gpus=args.gpus, iterations=args.iterations, seed=args.seed
+    )
+    save_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {trace.n_iterations} iterations, "
+        f"{trace.total_remote_stores()} remote stores, "
+        f"{trace.total_remote_bytes() / 1e6:.2f} MB pushed",
+        file=out,
+    )
+    return 0
+
+
+def cmd_replay(args, out) -> int:
+    trace = load_trace(args.trace)
+    config = _config(args)
+    system = MultiGPUSystem.build(
+        n_gpus=trace.n_gpus,
+        generation=config.generation,
+        finepack_config=config.finepack_config,
+    )
+    if args.paradigm == "finepack":
+        paradigm = FinePackParadigm(config.finepack_config)
+    else:
+        paradigm = make_paradigm(args.paradigm)
+    _print_metrics(system.run(trace, paradigm), out)
+    return 0
+
+
+def cmd_validate(args, out) -> int:
+    from .sim.validation import validate
+
+    trace = _workload(args.workload).generate_trace(
+        n_gpus=args.gpus, iterations=args.iterations, seed=args.seed
+    )
+    report = validate(trace, args.paradigm)
+    print(report.summary(), file=out)
+    print(
+        ("all checks passed" if report.passed else "FAILURES DETECTED"), file=out
+    )
+    return 0 if report.passed else 1
+
+
+def cmd_goodput(args, out) -> int:
+    rows = [
+        [p.size, p.pcie, p.nvlink, "measured" if p.measured else "projected"]
+        for p in goodput_curve()
+    ]
+    print(
+        format_table(
+            "goodput vs transfer size (paper Fig. 2)",
+            ["size_B", "pcie", "nvlink", "regime"],
+            rows,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FinePack (HPCA 2023) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads and paradigms").set_defaults(
+        fn=cmd_list
+    )
+
+    p = sub.add_parser("run", help="run one workload under one paradigm")
+    p.add_argument("workload")
+    p.add_argument("paradigm", choices=sorted(PARADIGMS))
+    p.add_argument(
+        "--timeline", action="store_true", help="render the iteration timeline"
+    )
+    _add_system_args(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("sweep", help="sweep a design parameter")
+    p.add_argument("workload")
+    p.add_argument("param", choices=("subheader", "generation"))
+    p.add_argument(
+        "--paradigm",
+        default="finepack",
+        choices=sorted(PARADIGMS),
+        help="paradigm for generation sweeps (default finepack)",
+    )
+    _add_system_args(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("compare", help="compare paradigms on one workload")
+    p.add_argument("workload")
+    p.add_argument(
+        "--paradigms",
+        nargs="+",
+        default=["p2p", "dma", "finepack", "infinite"],
+        choices=sorted(PARADIGMS),
+    )
+    _add_system_args(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("trace", help="generate and save a workload trace")
+    p.add_argument("workload")
+    p.add_argument("output")
+    _add_system_args(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("replay", help="replay a saved trace")
+    p.add_argument("trace")
+    p.add_argument("paradigm", choices=sorted(PARADIGMS))
+    _add_system_args(p)
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("validate", help="run the invariant battery")
+    p.add_argument("workload")
+    p.add_argument("paradigm", choices=sorted(PARADIGMS))
+    _add_system_args(p)
+    p.set_defaults(fn=cmd_validate)
+
+    sub.add_parser("goodput", help="print the Fig. 2 goodput table").set_defaults(
+        fn=cmd_goodput
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args, out if out is not None else sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

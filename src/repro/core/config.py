@@ -1,0 +1,138 @@
+"""FinePack configuration (paper Tables II and III).
+
+The central design parameter is the *sub-transaction header size*: each
+packed store carries a small header containing a 10-bit length field
+(mirroring PCIe) and an address-offset field occupying the remaining
+bits.  More header bytes widen the addressable window of one outer
+transaction (allowing more stores to be packed) but cost more overhead
+per packed store -- the trade-off swept in the paper's Figure 12.
+
++----------------+----+------+-----+-----+-------+
+| header bytes   |  2 |   3  |  4  |  5  |   6   |
++----------------+----+------+-----+-----+-------+
+| length bits    | 10 |  10  | 10  | 10  |  10   |
+| offset bits    |  6 |  14  | 22  | 30  |  38   |
+| window         |64B | 16KB | 4MB | 1GB | 256GB |
++----------------+----+------+-----+-----+-------+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bits reserved for the sub-transaction length field (Table II).
+LENGTH_FIELD_BITS = 10
+
+#: Cache-line granularity of remote write queue entries (Table III).
+QUEUE_ENTRY_DATA_BYTES = 128
+
+#: Queue entry size including tag/byte-enable metadata (Table III).
+QUEUE_ENTRY_TOTAL_BYTES = 144
+
+
+def offset_bits_for(subheader_bytes: int) -> int:
+    """Address-offset bits available in a sub-header of given size."""
+    bits = subheader_bytes * 8 - LENGTH_FIELD_BITS
+    if bits <= 0:
+        raise ValueError(
+            f"sub-header of {subheader_bytes} B cannot hold the "
+            f"{LENGTH_FIELD_BITS}-bit length field"
+        )
+    return bits
+
+
+def addressable_window(subheader_bytes: int) -> int:
+    """Bytes addressable by one outer transaction (Table II row 3)."""
+    return 1 << offset_bits_for(subheader_bytes)
+
+
+@dataclass(frozen=True, slots=True)
+class FinePackConfig:
+    """Parameters of one FinePack deployment (defaults: paper Table III).
+
+    Attributes
+    ----------
+    subheader_bytes:
+        Size of each sub-transaction header (paper default: 5, giving a
+        30-bit offset / 1 GB window).
+    max_payload_bytes:
+        PCIe maximum payload the outer transaction may carry (4096).
+    queue_entries_per_partition:
+        Fully-associative entries in each remote-write-queue partition.
+        Sized so a partition can buffer a full 4 KB payload of 128 B
+        lines: 64 entries, hence 192 entries total on a 4-GPU system
+        (3 peer partitions), matching Table III.
+    entry_bytes:
+        Data bytes per queue entry (one cache line).
+    """
+
+    subheader_bytes: int = 5
+    max_payload_bytes: int = 4096
+    queue_entries_per_partition: int = 64
+    entry_bytes: int = QUEUE_ENTRY_DATA_BYTES
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.subheader_bytes <= 8:
+            raise ValueError(
+                f"subheader_bytes must be in [2, 8], got {self.subheader_bytes}"
+            )
+        if self.max_payload_bytes <= 0:
+            raise ValueError("max_payload_bytes must be positive")
+        if self.queue_entries_per_partition <= 0:
+            raise ValueError("queue_entries_per_partition must be positive")
+        if self.entry_bytes & (self.entry_bytes - 1):
+            raise ValueError(f"entry_bytes must be a power of two: {self.entry_bytes}")
+        if self.entry_bytes + self.subheader_bytes > self.max_payload_bytes:
+            raise ValueError("one entry must fit in the maximum payload")
+        if self.max_length_value < self.entry_bytes:
+            raise ValueError(
+                "length field cannot express a full queue entry; "
+                "increase subheader_bytes"
+            )
+
+    @property
+    def offset_bits(self) -> int:
+        """Address-offset bits in each sub-header (Table III: 30)."""
+        return offset_bits_for(self.subheader_bytes)
+
+    @property
+    def window_bytes(self) -> int:
+        """Addressable range of one outer transaction."""
+        return 1 << self.offset_bits
+
+    @property
+    def max_length_value(self) -> int:
+        """Largest payload length one sub-transaction can describe."""
+        return (1 << LENGTH_FIELD_BITS) - 1
+
+    @property
+    def partition_data_bytes(self) -> int:
+        """SRAM data capacity of one queue partition."""
+        return self.queue_entries_per_partition * self.entry_bytes
+
+    def window_base(self, addr: int) -> int:
+        """Outer-transaction base address covering ``addr``.
+
+        The paper's "simplest approach" (Sec. IV-C): mask off the
+        low-order offset bits of the first store's address.
+        """
+        return addr & ~(self.window_bytes - 1)
+
+    def in_window(self, base: int, addr: int) -> bool:
+        """Whether ``addr`` falls inside the window rooted at ``base``."""
+        return base <= addr < base + self.window_bytes
+
+    def queue_sram_bytes(self, n_gpus: int) -> int:
+        """Total remote-write-queue SRAM on one GPU of an n-GPU system.
+
+        Data bytes only ("not counting tags or byte enables").  With the
+        default geometry this reproduces the paper's 16-GPU figure of
+        120 kB per GPU (15 partitions x 64 entries x 128 B, Sec. VI-B).
+        """
+        if n_gpus < 2:
+            raise ValueError("a multi-GPU system needs at least 2 GPUs")
+        return (n_gpus - 1) * self.partition_data_bytes
+
+
+#: The evaluation configuration of the paper (Table III).
+DEFAULT_CONFIG = FinePackConfig()

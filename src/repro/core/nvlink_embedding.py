@@ -1,0 +1,93 @@
+"""FinePack embedded in NVLink (paper Sec. IV-C, "Applicability Beyond
+PCIe").
+
+NVLink carries byte-enable information for the whole payload, so the
+FinePack payload needs a slightly different embedding than on PCIe: the
+outer write's byte enables are unused (each sub-header carries its own
+1-byte-granular length), the sub-header + data stream simply packs into
+16-byte data flits, and the packet pays one header flit.
+
+The practical difference from PCIe is the *maximum payload*: a single
+NVLink write carries at most 256 B (16 data flits), so a FinePack
+window must be emitted as a train of NVLink packets, each paying its
+own header flit.  Aggregation still amortizes the per-store address
+cost (base+offset compression) even though the framing amortization is
+weaker than PCIe's 4 KB payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interconnect.nvlink import FLIT_BYTES, NVLinkProtocol
+from .config import FinePackConfig
+from .packet import FinePackPacket
+
+
+@dataclass(frozen=True, slots=True)
+class NVLinkFinePackEmbedding:
+    """Wire-cost model for FinePack transactions on NVLink."""
+
+    config: FinePackConfig
+    nvlink: NVLinkProtocol = NVLinkProtocol()
+
+    def max_inner_payload(self) -> int:
+        """Inner payload bytes one NVLink packet can carry."""
+        return self.nvlink.max_payload
+
+    def wire_cost(self, packet: FinePackPacket) -> tuple[int, int]:
+        """(payload, overhead) to ship one FinePack window over NVLink.
+
+        Sub-transactions are packed greedily into 256 B NVLink packets;
+        a sub-transaction never splits across packets (its header and
+        data travel together), mirroring how the PCIe embedding keeps
+        sub-transactions contiguous.
+        """
+        payload = packet.payload_data_bytes
+        overhead = 0
+        open_bytes = 0
+        packets = 0
+        for sub in packet.subs:
+            need = sub.wire_bytes(self.config)
+            if need > self.max_inner_payload():
+                raise ValueError(
+                    f"sub-transaction of {need} B cannot fit an NVLink packet"
+                )
+            if packets == 0 or open_bytes + need > self.max_inner_payload():
+                # Close the open packet (pad to flits) and start fresh.
+                if packets:
+                    overhead += -(-open_bytes // FLIT_BYTES) * FLIT_BYTES - open_bytes
+                overhead += FLIT_BYTES  # header flit of the new packet
+                packets += 1
+                open_bytes = 0
+            open_bytes += need
+            overhead += self.config.subheader_bytes
+        if packets:
+            overhead += -(-open_bytes // FLIT_BYTES) * FLIT_BYTES - open_bytes
+        return payload, overhead
+
+    def goodput(self, packet: FinePackPacket) -> float:
+        payload, overhead = self.wire_cost(packet)
+        return payload / (payload + overhead) if payload + overhead else 0.0
+
+    def raw_store_cost(self, packet: FinePackPacket) -> tuple[int, int]:
+        """What the same stores would cost as individual NVLink writes."""
+        payload = 0
+        overhead = 0
+        for sub in packet.subs:
+            p, o = self.nvlink.store_wire_cost(
+                min(sub.length, self.nvlink.max_payload),
+                addr=packet.base_addr + sub.offset,
+            )
+            scale = -(-sub.length // self.nvlink.max_payload)
+            if scale > 1:  # long runs ship as packet trains
+                p, o = self.nvlink.bulk_transfer_cost(sub.length)
+            payload += p
+            overhead += o
+        return payload, overhead
+
+    def improvement_over_raw(self, packet: FinePackPacket) -> float:
+        """Wire-byte ratio raw-stores / FinePack-embedded (>1 = win)."""
+        fp = sum(self.wire_cost(packet))
+        raw = sum(self.raw_store_cost(packet))
+        return raw / fp if fp else 0.0

@@ -1,0 +1,46 @@
+"""GPU-side substrate: memory layout, warp coalescing, caches, HBM,
+compute timing, the scoped weak memory model, and device composition."""
+
+from .caches import CacheStats, L2Cache, SetAssociativeCache
+from .coalescer import LINE_BYTES, WARP_SIZE, coalesce_stream, size_histogram
+from .compute import GV100, ComputeModel, GPUParams, KernelWork
+from .consistency import OrderingChecker, OrderingViolation, ProgramStore, Scope
+from .gpu import GPU, EgressEngine
+from .hbm import HBMModel
+from .memory import (
+    APERTURE_BITS,
+    APERTURE_BYTES,
+    Allocator,
+    MemorySpace,
+    ReplicatedBuffer,
+    gpu_base,
+    owner_of,
+)
+
+__all__ = [
+    "CacheStats",
+    "L2Cache",
+    "SetAssociativeCache",
+    "LINE_BYTES",
+    "WARP_SIZE",
+    "coalesce_stream",
+    "size_histogram",
+    "GV100",
+    "ComputeModel",
+    "GPUParams",
+    "KernelWork",
+    "OrderingChecker",
+    "OrderingViolation",
+    "ProgramStore",
+    "Scope",
+    "GPU",
+    "EgressEngine",
+    "HBMModel",
+    "APERTURE_BITS",
+    "APERTURE_BYTES",
+    "Allocator",
+    "MemorySpace",
+    "ReplicatedBuffer",
+    "gpu_base",
+    "owner_of",
+]

@@ -1,0 +1,102 @@
+"""Kernel compute-time model (roofline) and GV100 parameters.
+
+FinePack's evaluation never changes the compute pipeline -- every
+communication paradigm runs the *same* kernels -- so the simulator needs
+a compute model that is consistent across paradigms and scales with the
+per-GPU partition size, not an instruction-level core model.  We use a
+roofline: a kernel phase is characterized by its floating-point work and
+its DRAM traffic, and its duration is the larger of the compute-bound
+and bandwidth-bound times, derated by an achievable-fraction factor,
+plus a fixed launch overhead (which is what caps strong scaling below
+ideal in the paper's infinite-bandwidth bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class GPUParams:
+    """GV100 simulation parameters (paper Table III)."""
+
+    name: str = "GV100"
+    cache_block_bytes: int = 128
+    global_memory_bytes: int = 16 * 1024**3
+    num_sms: int = 80
+    cuda_cores_per_sm: int = 64
+    l2_bytes: int = 6 * 1024 * 1024
+    warp_size: int = 32
+    max_threads_per_sm: int = 2048
+    max_threads_per_cta: int = 1024
+    #: Peak FP64 throughput in flop/ns (GV100: 7.8 TFLOP/s).
+    fp64_flops_per_ns: float = 7800.0
+    #: Peak FP32 throughput in flop/ns.
+    fp32_flops_per_ns: float = 15700.0
+    #: HBM2 bandwidth in bytes/ns.
+    hbm_bytes_per_ns: float = 900.0
+
+
+GV100 = GPUParams()
+
+
+@dataclass(frozen=True, slots=True)
+class KernelWork:
+    """Work content of one kernel phase on one GPU.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point operations executed.
+    dram_bytes:
+        Bytes moved between the SMs and local memory (post-cache).
+    precision:
+        ``"fp32"`` or ``"fp64"``; selects the compute roof.
+    """
+
+    flops: float
+    dram_bytes: float
+    precision: str = "fp64"
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.dram_bytes < 0:
+            raise ValueError("work quantities must be non-negative")
+        if self.precision not in ("fp32", "fp64"):
+            raise ValueError(f"unknown precision {self.precision!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ComputeModel:
+    """Roofline timing for kernel phases.
+
+    Parameters
+    ----------
+    params:
+        Peak rates of the modelled GPU.
+    efficiency:
+        Fraction of peak the kernel sustains (irregular kernels achieve
+        well under peak; 0.5 is a representative default).
+    launch_overhead_ns:
+        Fixed per-kernel cost (driver + launch latency).  This is the
+        serial term that keeps 4-GPU scaling below 4x even with
+        infinite interconnect bandwidth.
+    """
+
+    params: GPUParams = GV100
+    efficiency: float = 0.5
+    launch_overhead_ns: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+
+    def duration_ns(self, work: KernelWork) -> float:
+        """Roofline duration of one kernel phase."""
+        roof = (
+            self.params.fp64_flops_per_ns
+            if work.precision == "fp64"
+            else self.params.fp32_flops_per_ns
+        )
+        compute_ns = work.flops / (roof * self.efficiency)
+        memory_ns = work.dram_bytes / (self.params.hbm_bytes_per_ns * self.efficiency)
+        return self.launch_overhead_ns + max(compute_ns, memory_ns)

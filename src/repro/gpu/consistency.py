@@ -1,0 +1,128 @@
+"""GPU scoped weak memory model: scopes, release semantics, checkers.
+
+The NVIDIA GPU memory model (paper Sec. II-A) is the license for
+FinePack's entire design: weak stores need only become visible at
+synchronization, so an egress engine may buffer, coalesce, overwrite and
+reorder them *between* synchronization points.  The constraints it must
+uphold are:
+
+1. **Release flushing** -- all buffered remote stores must be on the
+   wire (and eventually visible) before a system-scoped release (fence
+   or kernel end) completes.
+2. **Same-address ordering** -- two stores to overlapping bytes must
+   become visible in program order (PCIe keeps posted writes ordered,
+   and the write queue's overwrite-in-place preserves this).
+3. **Load-store ordering** -- a remote load that overlaps a buffered
+   store must flush the matching entries first (Sec. IV-B).
+
+:class:`OrderingChecker` validates an observed visibility order against
+these rules; the FinePack conformance tests drive random store/fence
+streams through the egress engine and assert no violations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Scope(enum.Enum):
+    """Synchronization scopes of the PTX memory model."""
+
+    CTA = "cta"
+    GPU = "gpu"
+    SYSTEM = "sys"
+
+
+class OrderingViolation(Exception):
+    """An observed visibility order breaks the GPU memory model."""
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramStore:
+    """One store in program order on a single GPU."""
+
+    seq: int
+    addr: int
+    size: int
+
+    def overlaps(self, other: "ProgramStore") -> bool:
+        return self.addr < other.addr + other.size and other.addr < self.addr + self.size
+
+
+@dataclass
+class OrderingChecker:
+    """Checks a visibility order against the scoped weak memory model.
+
+    Feed the checker the *program order* via :meth:`issue` /
+    :meth:`release`, then the *observed order* via :meth:`observe_store`
+    / :meth:`observe_release`.  Violations raise immediately, making
+    failures point at the first offending event.
+    """
+
+    _issued: dict[int, ProgramStore] = field(default_factory=dict)
+    _release_points: dict[int, set[int]] = field(default_factory=dict)
+    _next_release: int = 0
+    _pending: set[int] = field(default_factory=set)
+    _visible: set[int] = field(default_factory=set)
+    _last_visible_per_byte: dict[int, int] = field(default_factory=dict)
+
+    def issue(self, store: ProgramStore) -> None:
+        """Record a store entering the egress path, in program order."""
+        if store.seq in self._issued:
+            raise ValueError(f"duplicate store seq {store.seq}")
+        self._issued[store.seq] = store
+        self._pending.add(store.seq)
+
+    def release(self) -> int:
+        """Record a system-scoped release; returns its release id."""
+        rid = self._next_release
+        self._next_release += 1
+        self._release_points[rid] = set(self._pending)
+        return rid
+
+    def observe_store(self, seq: int) -> None:
+        """A store became visible at the destination."""
+        store = self._issued.get(seq)
+        if store is None:
+            raise OrderingViolation(f"store seq {seq} visible but never issued")
+        if seq in self._visible:
+            raise OrderingViolation(f"store seq {seq} visible twice")
+        # Same-address ordering: every byte this store writes must not
+        # have been made visible by a *later* program-order store.
+        for b in range(store.addr, store.addr + store.size):
+            prev = self._last_visible_per_byte.get(b)
+            if prev is not None and prev > seq:
+                raise OrderingViolation(
+                    f"store seq {seq} to byte {b:#x} visible after "
+                    f"later store seq {prev} (same-address order broken)"
+                )
+            self._last_visible_per_byte[b] = max(prev or -1, seq)
+        self._visible.add(seq)
+        self._pending.discard(seq)
+
+    def observe_coalesced(self, seqs: list[int]) -> None:
+        """Several program stores became visible as one merged write.
+
+        The merged write carries the final bytes; for the memory model
+        it counts as the visibility point of every absorbed store.  The
+        stores must be observed in program order within the merge.
+        """
+        for seq in sorted(seqs):
+            self.observe_store(seq)
+
+    def observe_release(self, rid: int) -> None:
+        """A release completed; everything issued before it must be visible."""
+        needed = self._release_points.get(rid)
+        if needed is None:
+            raise OrderingViolation(f"unknown release id {rid}")
+        missing = needed - self._visible
+        if missing:
+            raise OrderingViolation(
+                f"release {rid} completed with {len(missing)} store(s) "
+                f"not yet visible, e.g. seq {min(missing)}"
+            )
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,66 @@
+"""GPU device composition.
+
+A :class:`GPU` bundles the per-device pieces the system simulator needs:
+identity, architectural parameters, the compute-time model, the
+memory-side L2, the HBM model, and a pluggable *egress engine* (set by
+the active communication paradigm -- pass-through for raw P2P stores,
+the FinePack engine, a write-combining buffer, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..interconnect.message import WireMessage
+from .caches import L2Cache
+from .compute import GV100, ComputeModel, GPUParams, KernelWork
+from .hbm import HBMModel
+
+
+class EgressEngine(Protocol):
+    """Interface between a GPU and its network egress port.
+
+    Implementations translate a stream of remote-store/sync events into
+    :class:`WireMessage` objects.  All methods return the messages made
+    ready by the event (possibly none).
+    """
+
+    def on_store(
+        self, addr: int, size: int, dst: int, time: float, data: bytes | None = None
+    ) -> list[WireMessage]:
+        """A remote store reached the egress port."""
+        ...
+
+    def on_atomic(self, addr: int, size: int, dst: int, time: float) -> list[WireMessage]:
+        """A remote atomic reached the egress port (never coalesced)."""
+        ...
+
+    def on_remote_load(self, addr: int, size: int, dst: int, time: float) -> list[WireMessage]:
+        """A remote load passed the egress port (may force flushes)."""
+        ...
+
+    def on_release(self, time: float) -> list[WireMessage]:
+        """A system-scoped release (fence or kernel end) executed."""
+        ...
+
+
+@dataclass
+class GPU:
+    """One simulated GPU device."""
+
+    index: int
+    params: GPUParams = GV100
+    compute: ComputeModel = field(default_factory=ComputeModel)
+    hbm: HBMModel = field(default_factory=HBMModel)
+    l2: L2Cache = field(init=False)
+    egress: EgressEngine | None = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"negative GPU index: {self.index}")
+        self.l2 = L2Cache(self.index, self.params.l2_bytes)
+
+    def kernel_time_ns(self, work: KernelWork) -> float:
+        """Duration of one kernel phase on this GPU."""
+        return self.compute.duration_ns(work)

@@ -1,0 +1,35 @@
+"""Local HBM memory model.
+
+The paper's Sec. IV-C observation is structural: local memory bandwidth
+(~900 GB/s on GV100) exceeds inter-GPU link bandwidth (32 GB/s for PCIe
+4.0) by more than an order of magnitude, so disaggregated FinePack
+stores arriving from the interconnect never bottleneck on local memory.
+The model exposes that drain rate to the ingress flow-control path and
+serves the roofline compute model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class HBMModel:
+    """Bandwidth/latency envelope of a GPU's locally attached memory."""
+
+    #: Sustained bandwidth in bytes/ns (== GB/s).  GV100: ~900 GB/s.
+    bandwidth_bytes_per_ns: float = 900.0
+    #: Loaded access latency in ns.
+    latency_ns: float = 350.0
+
+    def access_time_ns(self, nbytes: int) -> float:
+        """Time to stream ``nbytes`` through HBM."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_ns + nbytes / self.bandwidth_bytes_per_ns
+
+    def drain_rate(self) -> float:
+        """Sustained ingress write drain rate (bytes/ns)."""
+        return self.bandwidth_bytes_per_ns

@@ -1,0 +1,128 @@
+"""Shared virtual address space and per-GPU physical allocation.
+
+Single-node multi-GPU systems map every GPU's memory into one shared
+virtual address space (paper Sec. II-A).  We mirror that: GPU *i* owns a
+16 GB aperture at ``i << APERTURE_BITS``, and a bump allocator hands out
+buffer placements inside each aperture.
+
+:class:`ReplicatedBuffer` captures the paper's data-replication idiom: a
+logical buffer has one physical replica per GPU, reads go to the local
+replica, and remote stores target the same offset in peer replicas.
+Because all replicas of a buffer sit at the same aperture-relative
+offset, the address stream leaving one GPU for one peer exhibits the
+spatial locality (tens of MB windows) that FinePack's base+offset
+compression exploits (paper Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: log2 of each GPU's aperture size (16 GB, matching Table III).
+APERTURE_BITS = 34
+
+APERTURE_BYTES = 1 << APERTURE_BITS
+
+
+def gpu_base(gpu: int) -> int:
+    """Base virtual address of ``gpu``'s memory aperture."""
+    if gpu < 0:
+        raise ValueError(f"negative GPU index: {gpu}")
+    return gpu << APERTURE_BITS
+
+
+def owner_of(addr: int) -> int:
+    """GPU index whose aperture contains ``addr``."""
+    if addr < 0:
+        raise ValueError(f"negative address: {addr:#x}")
+    return addr >> APERTURE_BITS
+
+
+@dataclass
+class Allocator:
+    """Bump allocator for one GPU's aperture."""
+
+    gpu: int
+    #: Next free aperture-relative offset.
+    cursor: int = 0
+
+    def alloc(self, nbytes: int, align: int = 256) -> int:
+        """Reserve ``nbytes`` and return the buffer's virtual address."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation must be positive, got {nbytes}")
+        if align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        self.cursor = -(-self.cursor // align) * align
+        if self.cursor + nbytes > APERTURE_BYTES:
+            raise MemoryError(
+                f"GPU {self.gpu} aperture exhausted: "
+                f"{self.cursor + nbytes} > {APERTURE_BYTES}"
+            )
+        addr = gpu_base(self.gpu) + self.cursor
+        self.cursor += nbytes
+        return addr
+
+
+@dataclass
+class ReplicatedBuffer:
+    """A logical buffer with one physical replica per GPU.
+
+    Attributes
+    ----------
+    name:
+        For diagnostics and the DMA region report.
+    nbytes:
+        Size of each replica.
+    replicas:
+        ``replicas[gpu]`` is the replica's base virtual address.
+    """
+
+    name: str
+    nbytes: int
+    replicas: dict[int, int]
+
+    def addr(self, gpu: int, offset: int = 0) -> int:
+        """Virtual address of byte ``offset`` in ``gpu``'s replica."""
+        if not 0 <= offset < self.nbytes:
+            raise IndexError(
+                f"offset {offset} outside buffer '{self.name}' of {self.nbytes} B"
+            )
+        return self.replicas[gpu] + offset
+
+    def offset_of(self, addr: int) -> int:
+        """Inverse of :meth:`addr` for whichever replica contains ``addr``."""
+        base = self.replicas.get(owner_of(addr))
+        if base is None or not base <= addr < base + self.nbytes:
+            raise ValueError(f"{addr:#x} is not inside buffer '{self.name}'")
+        return addr - base
+
+
+@dataclass
+class MemorySpace:
+    """Allocation front-end for a whole multi-GPU system."""
+
+    n_gpus: int
+    allocators: dict[int, Allocator] = field(default_factory=dict)
+    buffers: list[ReplicatedBuffer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for g in range(self.n_gpus):
+            self.allocators.setdefault(g, Allocator(g))
+
+    def alloc_replicated(
+        self, name: str, nbytes: int, gpus: list[int] | None = None, align: int = 256
+    ) -> ReplicatedBuffer:
+        """Allocate one replica of ``nbytes`` on each GPU in ``gpus``."""
+        gpus = list(range(self.n_gpus)) if gpus is None else gpus
+        replicas = {g: self.allocators[g].alloc(nbytes, align) for g in gpus}
+        buf = ReplicatedBuffer(name=name, nbytes=nbytes, replicas=replicas)
+        self.buffers.append(buf)
+        return buf
+
+    def alloc_local(self, name: str, nbytes: int, gpu: int, align: int = 256) -> int:
+        """Allocate a non-replicated buffer on one GPU; returns its address."""
+        addr = self.allocators[gpu].alloc(nbytes, align)
+        self.buffers.append(
+            ReplicatedBuffer(name=name, nbytes=nbytes, replicas={gpu: addr})
+        )
+        return addr

@@ -1,0 +1,51 @@
+"""Interconnect substrate: byte-accurate PCIe/NVLink models, links,
+flow control, switches and topologies.
+
+The public surface other packages use:
+
+* :class:`~repro.interconnect.message.WireMessage` / ``MessageKind`` --
+  the unit of traffic.
+* :class:`~repro.interconnect.pcie.PCIeProtocol` and the
+  ``PCIE_GEN3..6`` generation constants.
+* :class:`~repro.interconnect.nvlink.NVLinkProtocol`.
+* :func:`~repro.interconnect.topology.single_switch` /
+  :func:`~repro.interconnect.topology.two_level_tree` producing a
+  :class:`~repro.interconnect.topology.Topology`.
+"""
+
+from .flowcontrol import CreditPool
+from .link import Link, LinkStats
+from .message import MessageKind, WireMessage
+from .nvlink import NVLinkProtocol
+from .pcie import (
+    GENERATIONS,
+    PCIE_GEN3,
+    PCIE_GEN4,
+    PCIE_GEN5,
+    PCIE_GEN6,
+    PCIeGeneration,
+    PCIeProtocol,
+)
+from .switch import Switch
+from .topology import Topology, fully_connected, single_switch, two_level_tree
+
+__all__ = [
+    "CreditPool",
+    "Link",
+    "LinkStats",
+    "MessageKind",
+    "WireMessage",
+    "NVLinkProtocol",
+    "GENERATIONS",
+    "PCIE_GEN3",
+    "PCIE_GEN4",
+    "PCIE_GEN5",
+    "PCIE_GEN6",
+    "PCIeGeneration",
+    "PCIeProtocol",
+    "Switch",
+    "Topology",
+    "fully_connected",
+    "single_switch",
+    "two_level_tree",
+]

@@ -1,0 +1,133 @@
+"""Point-to-point link with serialization timing and byte accounting.
+
+A :class:`Link` models one direction of a full-duplex interconnect lane
+bundle: packets serialize one at a time at the link's byte rate, and the
+link keeps cumulative per-category byte counters that the metrics layer
+reads after a run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .flowcontrol import CreditPool
+from .message import MessageKind, WireMessage
+
+
+@dataclass
+class LinkStats:
+    """Cumulative traffic counters for one link direction."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+    overhead_bytes: int = 0
+    stores_packed: int = 0
+    by_kind: dict[MessageKind, int] = field(default_factory=dict)
+    busy_time_ns: float = 0.0
+    #: DLL replays triggered by injected CRC errors, and the wire bytes
+    #: the retransmissions consumed (not counted in ``wire_bytes``).
+    replays: int = 0
+    replay_bytes: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes + self.overhead_bytes
+
+    @property
+    def goodput(self) -> float:
+        return self.payload_bytes / self.wire_bytes if self.wire_bytes else 0.0
+
+    def record(self, msg: WireMessage, duration_ns: float) -> None:
+        self.messages += 1
+        self.payload_bytes += msg.payload_bytes
+        self.overhead_bytes += msg.overhead_bytes
+        self.stores_packed += msg.stores_packed
+        self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
+        self.busy_time_ns += duration_ns
+
+
+@dataclass
+class Link:
+    """One direction of a link: serializes messages at a fixed byte rate.
+
+    Parameters
+    ----------
+    name:
+        Identifier for debugging/reporting (e.g. ``"gpu0->switch"``).
+    bytes_per_ns:
+        Serialization bandwidth (1 byte/ns == 1 GB/s).
+    propagation_ns:
+        Wire/retimer latency added to every message's delivery time.
+    credits:
+        Optional receiver credit pool; when present, messages stall
+        until the receiver has buffer space.
+    """
+
+    name: str
+    bytes_per_ns: float
+    propagation_ns: float = 50.0
+    credits: CreditPool | None = None
+    #: Probability that any single wire byte of a packet is corrupted,
+    #: triggering a data-link-layer replay of the whole packet.  Zero
+    #: (default) disables error injection.  The per-link RNG is seeded
+    #: from the link name so runs stay deterministic.
+    error_rate: float = 0.0
+    busy_until: float = 0.0
+    stats: LinkStats = field(default_factory=LinkStats)
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_ns <= 0:
+            raise ValueError(f"link bandwidth must be positive: {self.bytes_per_ns}")
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError(f"error_rate must be in [0, 1): {self.error_rate}")
+        if self.error_rate:
+            self._rng = np.random.default_rng(zlib.crc32(self.name.encode()))
+
+    def serialization_ns(self, msg: WireMessage) -> float:
+        return msg.wire_bytes / self.bytes_per_ns
+
+    def transmit(self, msg: WireMessage, ready_time: float) -> tuple[float, float]:
+        """Serialize ``msg``; returns (start_time, delivery_time).
+
+        ``ready_time`` is when the message is available at the egress
+        port.  Transmission starts at the later of readiness, link
+        availability, and (with flow control) credit availability; it
+        completes a serialization delay plus propagation later.  Calls
+        must be made in non-decreasing ``ready_time`` order per link,
+        which the event-driven system guarantees.
+        """
+        start = max(ready_time, self.busy_until)
+        if self.credits is not None:
+            start = max(start, self.credits.earliest_start(start, msg.payload_bytes))
+        duration = self.serialization_ns(msg)
+        if self._rng is not None:
+            # Each corrupted packet is retransmitted in full (PCIe DLL
+            # replay); repeated corruption is possible but bounded.
+            p_corrupt = 1.0 - (1.0 - self.error_rate) ** msg.wire_bytes
+            replays = 0
+            while replays < 8 and self._rng.random() < p_corrupt:
+                replays += 1
+            if replays:
+                self.stats.replays += replays
+                self.stats.replay_bytes += replays * msg.wire_bytes
+                duration *= 1 + replays
+        end = start + duration
+        self.busy_until = end
+        delivery = end + self.propagation_ns
+        if self.credits is not None:
+            self.credits.commit(delivery, msg.payload_bytes)
+        self.stats.record(msg, duration)
+        return start, delivery
+
+    def reset(self) -> None:
+        """Clear timing state and counters (between runs)."""
+        self.busy_until = 0.0
+        self.stats = LinkStats()
+        if self.credits is not None:
+            self.credits._outstanding.clear()
+        if self.error_rate:
+            self._rng = np.random.default_rng(zlib.crc32(self.name.encode()))

@@ -1,0 +1,102 @@
+"""Wire-level message representation shared by all interconnect models.
+
+A :class:`WireMessage` is one transaction-layer packet as it appears on a
+link: a payload (the bytes the sender wants delivered) plus the protocol
+overhead bytes (headers, CRCs, framing) charged by the link protocol that
+carries it.  Byte accounting throughout the simulator is done in terms of
+the three categories the paper's Figure 10 uses:
+
+* ``useful``   -- payload bytes that carry a final value which the
+  destination GPU actually reads,
+* ``wasted``   -- payload bytes that are either overwritten by a later
+  store before the consumer reads them (redundant transfer) or never read
+  at all (over-transfer),
+* ``overhead`` -- protocol bytes: headers, sub-headers, CRCs, framing,
+  padding.
+
+The split of payload bytes into useful/wasted is decided later by the
+metrics layer (it needs the destination's read set); a message only knows
+its raw payload size and overhead size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MessageKind(enum.Enum):
+    """Transaction types that traverse the inter-GPU interconnect."""
+
+    # Enum members are singletons, so identity hashing is safe and
+    # avoids Python-level ``Enum.__hash__`` in the per-message hot path.
+    __hash__ = object.__hash__
+
+    #: A single posted memory-write TLP produced by one remote store.
+    STORE = "store"
+    #: A write-combined cacheline-granularity write (GPS-style buffers).
+    COMBINED_STORE = "combined_store"
+    #: A FinePack outer transaction carrying many packed sub-stores.
+    FINEPACK = "finepack"
+    #: One max-payload chunk of a bulk DMA copy.
+    DMA_CHUNK = "dma_chunk"
+    #: A stateful configuration packet (the alternate design of Sec. VI-B).
+    CONFIG = "config"
+    #: A remote atomic operation (never coalesced, Sec. IV-C).
+    ATOMIC = "atomic"
+
+
+@dataclass(slots=True)
+class WireMessage:
+    """One transaction-layer packet occupying an interconnect link.
+
+    Attributes
+    ----------
+    src, dst:
+        GPU indices of the producing and consuming endpoints.
+    payload_bytes:
+        Data bytes carried (before any useful/wasted classification).
+    overhead_bytes:
+        Protocol bytes added by the carrying link protocol (TLP header,
+        DLL sequence number, CRCs, physical framing, DW padding and, for
+        FinePack, the sub-transaction headers).
+    kind:
+        The transaction type, used by metrics and the receiving endpoint.
+    issue_time:
+        Simulated time (ns) at which the message became ready to leave
+        the source endpoint's egress port.
+    stores_packed:
+        Number of program-level store operations this message carries
+        (1 for a plain store TLP; the coalescing count for FinePack --
+        the quantity plotted in the paper's Figure 11).
+    meta:
+        Free-form per-message annotations (e.g. the address ranges
+        covered, used by the byte-accounting ledger).
+    """
+
+    src: int
+    dst: int
+    payload_bytes: int
+    overhead_bytes: int
+    kind: MessageKind = MessageKind.STORE
+    issue_time: float = 0.0
+    stores_packed: int = 1
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"negative payload: {self.payload_bytes}")
+        if self.overhead_bytes < 0:
+            raise ValueError(f"negative overhead: {self.overhead_bytes}")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes this message occupies on the link."""
+        return self.payload_bytes + self.overhead_bytes
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of on-wire bytes that are payload."""
+        if self.wire_bytes == 0:
+            return 0.0
+        return self.payload_bytes / self.wire_bytes

@@ -1,0 +1,82 @@
+"""NVLink flit-level cost model (used for the Figure 2 goodput study).
+
+NVLink transfers data in 16-byte *flits*.  A write request packet is
+
+* one header flit (16 B) carrying command, address and routing,
+* ``ceil(size / 16)`` data flits,
+* an *optional* byte-enable flit: writes that are not a multiple of the
+  32-byte sector size, or are misaligned, need a flit of byte enables.
+
+The conditional byte-enable flit is what produces the "spikes" in
+NVLink's measured goodput curve that the paper's Figure 2 footnote
+mentions: a naturally aligned 32 B store needs no BE flit (48 B on the
+wire) while a 24 B store does (64 B on the wire), so goodput is not
+monotonic in store size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Flow-control unit of the NVLink physical layer.
+FLIT_BYTES = 16
+
+#: Granularity at which writes avoid the byte-enable flit.
+SECTOR_BYTES = 32
+
+
+@dataclass(frozen=True, slots=True)
+class NVLinkProtocol:
+    """Computes on-wire byte costs for NVLink write packets.
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Per-direction link bandwidth (NVLink2 brick: 25 GB/s; a V100
+        with 6 bricks reaches 150 GB/s aggregate).
+    max_payload:
+        Largest write a single packet can carry (256 B = 16 data flits).
+    """
+
+    bandwidth_gbps: float = 25.0
+    max_payload: int = 256
+
+    @property
+    def bytes_per_ns(self) -> float:
+        return self.bandwidth_gbps
+
+    def needs_byte_enable_flit(self, nbytes: int, addr: int = 0) -> bool:
+        """True when the write requires an explicit byte-enable flit."""
+        return nbytes % SECTOR_BYTES != 0 or addr % SECTOR_BYTES != 0
+
+    def store_wire_cost(self, nbytes: int, addr: int = 0) -> tuple[int, int]:
+        """(payload, overhead) bytes for one write of ``nbytes`` at ``addr``."""
+        if nbytes <= 0:
+            raise ValueError(f"store must carry at least 1 byte, got {nbytes}")
+        if nbytes > self.max_payload:
+            raise ValueError(
+                f"store of {nbytes} B exceeds max payload {self.max_payload}"
+            )
+        data_flits = -(-nbytes // FLIT_BYTES)
+        overhead = FLIT_BYTES  # header flit
+        overhead += data_flits * FLIT_BYTES - nbytes  # padding to flits
+        if self.needs_byte_enable_flit(nbytes, addr):
+            overhead += FLIT_BYTES
+        return nbytes, overhead
+
+    def store_goodput(self, nbytes: int, addr: int = 0) -> float:
+        payload, overhead = self.store_wire_cost(nbytes, addr)
+        return payload / (payload + overhead)
+
+    def bulk_transfer_cost(self, nbytes: int) -> tuple[int, int]:
+        """(payload, overhead) for a copy split into max-payload packets."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer: {nbytes}")
+        if nbytes == 0:
+            return 0, 0
+        full, rem = divmod(nbytes, self.max_payload)
+        overhead = full * FLIT_BYTES  # one header flit per full packet
+        if rem:
+            _, tail = self.store_wire_cost(rem)
+            overhead += tail
+        return nbytes, overhead

@@ -1,0 +1,198 @@
+"""Byte-accurate PCI Express link-protocol cost model.
+
+The model follows the packet anatomy in the paper's Figure 3 / Table I:
+a posted memory-write transaction on the wire consists of
+
+* physical-layer framing (the STP token on Gen3+),
+* the data-link layer prefix: a 2-byte sequence number,
+* the transaction-layer packet (TLP) header -- 4 DW (16 B) for a 64-bit
+  address memory write,
+* the data payload, carried in 4-byte DW units (sub-DW writes are padded
+  to a DW boundary; byte enables in the header select the valid bytes),
+* an optional 4-byte end-to-end CRC (ECRC),
+* the 4-byte link CRC (LCRC).
+
+The paper's Sec. VI-B quotes "sequence number, ECRC and LCRC" as a
+10-byte per-TLP cost, so ECRC is enabled by default here.
+
+Generation parameters cover PCIe 3.0 through the projected 6.0 used in
+the paper's Figure 13 bandwidth sweep (32 GB/s for Gen4 x16 up to
+128 GB/s for Gen6 x16, per direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes per doubleword; TLP payloads are DW-granular on the wire.
+DW_BYTES = 4
+
+#: Physical framing bytes per TLP (STP framing token, Gen3+ encoding).
+FRAMING_BYTES = 4
+
+#: Data-link layer sequence number prepended to every TLP.
+SEQUENCE_BYTES = 2
+
+#: Link CRC appended to every TLP.
+LCRC_BYTES = 4
+
+#: Optional end-to-end CRC (TLP digest).
+ECRC_BYTES = 4
+
+#: 4-DW TLP header used by 64-bit-address memory writes.
+MEM_WRITE_HEADER_BYTES = 16
+
+#: Amortized DLLP cost (flow-control credit updates / acks) charged per
+#: TLP.  DLLPs are 8 bytes and are emitted roughly once per few TLPs.
+AMORTIZED_DLLP_BYTES = 2
+
+#: PCIe 6.0 FLIT-mode parameters: the link carries fixed 256-byte
+#: flits, each with 236 bytes of TLP payload capacity and 20 bytes of
+#: CRC/FEC/DLP overhead.  TLPs pack back to back inside flits with no
+#: per-TLP framing, sequence number or LCRC.
+FLIT_MODE_FLIT_BYTES = 256
+FLIT_MODE_PAYLOAD_BYTES = 236
+
+
+@dataclass(frozen=True, slots=True)
+class PCIeGeneration:
+    """Link parameters for one PCIe generation at a given width.
+
+    ``bandwidth_gbps`` is the post-encoding data bandwidth per direction
+    in gigabytes per second (1 GB/s == 1 byte/ns in simulator units).
+    """
+
+    name: str
+    gen: int
+    lanes: int
+    bandwidth_gbps: float
+    max_payload: int = 4096
+
+    @property
+    def bytes_per_ns(self) -> float:
+        """Per-direction link bandwidth in simulator units (B/ns)."""
+        return self.bandwidth_gbps
+
+
+#: The generations used in the paper's Figure 13 sweep (x16 links).
+PCIE_GEN3 = PCIeGeneration("PCIe 3.0 x16", 3, 16, 16.0)
+PCIE_GEN4 = PCIeGeneration("PCIe 4.0 x16", 4, 16, 32.0)
+PCIE_GEN5 = PCIeGeneration("PCIe 5.0 x16", 5, 16, 64.0)
+PCIE_GEN6 = PCIeGeneration("PCIe 6.0 x16", 6, 16, 128.0)
+
+GENERATIONS = {g.gen: g for g in (PCIE_GEN3, PCIE_GEN4, PCIE_GEN5, PCIE_GEN6)}
+
+
+@dataclass(frozen=True, slots=True)
+class PCIeProtocol:
+    """Computes on-wire byte costs for PCIe transactions.
+
+    Parameters
+    ----------
+    generation:
+        Link-speed parameters; affects timing, not per-packet bytes.
+    ecrc:
+        Whether the optional end-to-end CRC is carried (default on, to
+        match the paper's 10-byte DLL/CRC figure).
+    amortized_dllp:
+        Whether to charge the amortized flow-control DLLP cost.
+    flit_mode:
+        Model PCIe 6.0's FLIT encoding: TLPs lose their per-packet
+        framing/sequence/LCRC and instead pay an amortized share of the
+        fixed per-flit CRC/FEC overhead (20 B per 256 B flit).  The
+        paper's Fig. 13 projects Gen6 with the classic packetization;
+        this option quantifies how FLIT mode shifts the small-store
+        penalty (default off to match the paper).
+    """
+
+    generation: PCIeGeneration = PCIE_GEN4
+    ecrc: bool = True
+    amortized_dllp: bool = True
+    flit_mode: bool = False
+
+    @property
+    def max_payload(self) -> int:
+        return self.generation.max_payload
+
+    @property
+    def flit_overhead_factor(self) -> float:
+        """FLIT mode: wire bytes per byte of TLP stream."""
+        return FLIT_MODE_FLIT_BYTES / FLIT_MODE_PAYLOAD_BYTES
+
+    @property
+    def per_tlp_overhead(self) -> int:
+        """Fixed protocol bytes added to every memory-write TLP.
+
+        Classic (non-FLIT) encoding: framing + sequence + 4-DW header +
+        LCRC (+ ECRC, + amortized DLLP share).  With defaults this is
+        4+2+16+4+4+2 = 32 bytes.
+
+        FLIT mode (Gen6): the TLP carries only its header (+ ECRC);
+        framing/sequence/LCRC disappear and the fixed per-flit CRC/FEC
+        cost is charged as an amortized multiplicative factor in
+        :meth:`store_wire_cost`, rounded here into an equivalent
+        per-TLP byte count for a header-only share.
+        """
+        if self.flit_mode:
+            cost = MEM_WRITE_HEADER_BYTES
+            if self.ecrc:
+                cost += ECRC_BYTES
+            return cost
+        cost = FRAMING_BYTES + SEQUENCE_BYTES + MEM_WRITE_HEADER_BYTES + LCRC_BYTES
+        if self.ecrc:
+            cost += ECRC_BYTES
+        if self.amortized_dllp:
+            cost += AMORTIZED_DLLP_BYTES
+        return cost
+
+    def padded_payload(self, nbytes: int) -> int:
+        """Payload bytes on the wire: DW-aligned (byte enables mask the rest)."""
+        if nbytes < 0:
+            raise ValueError(f"negative payload: {nbytes}")
+        return -(-nbytes // DW_BYTES) * DW_BYTES
+
+    def store_wire_cost(self, nbytes: int) -> tuple[int, int]:
+        """(payload_on_wire, overhead) for a single memory-write TLP.
+
+        The DW padding added beyond the requested bytes is counted as
+        overhead, not payload, so goodput reflects only requested bytes.
+        In FLIT mode the whole TLP stream additionally pays the
+        amortized per-flit CRC/FEC share.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"store must carry at least 1 byte, got {nbytes}")
+        if nbytes > self.max_payload:
+            raise ValueError(
+                f"store of {nbytes} B exceeds max payload {self.max_payload}"
+            )
+        padded = self.padded_payload(nbytes)
+        overhead = self.per_tlp_overhead + (padded - nbytes)
+        if self.flit_mode:
+            stream = padded + self.per_tlp_overhead
+            overhead += round(stream * (self.flit_overhead_factor - 1.0))
+        return nbytes, overhead
+
+    def store_goodput(self, nbytes: int) -> float:
+        """Fraction of on-wire bytes that are useful for an nbytes store."""
+        payload, overhead = self.store_wire_cost(nbytes)
+        return payload / (payload + overhead)
+
+    def bulk_transfer_cost(self, nbytes: int) -> tuple[int, int]:
+        """(payload, overhead) for a DMA copy split into max-payload TLPs."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer: {nbytes}")
+        if nbytes == 0:
+            return 0, 0
+        full, rem = divmod(nbytes, self.max_payload)
+        overhead = full * self.per_tlp_overhead
+        if self.flit_mode and full:
+            stream = full * (self.max_payload + self.per_tlp_overhead)
+            overhead += round(stream * (self.flit_overhead_factor - 1.0))
+        if rem:
+            _, tail_overhead = self.store_wire_cost(rem)
+            overhead += tail_overhead
+        return nbytes, overhead
+
+    def transfer_time_ns(self, wire_bytes: int) -> float:
+        """Serialization time of ``wire_bytes`` at this generation's rate."""
+        return wire_bytes / self.generation.bytes_per_ns

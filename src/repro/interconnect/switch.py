@@ -1,0 +1,74 @@
+"""Store-and-forward PCIe switch model.
+
+The paper's testbed connects 4 GPUs under a single PCIe switch.  A
+message from GPU *s* to GPU *d* serializes on *s*'s upstream (TX) link,
+incurs the switch forwarding latency, then serializes again on *d*'s
+downstream (RX) link.  Contention arises naturally when multiple
+sources target one destination: the destination's downstream link is a
+shared resource with its own ``busy_until``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .link import Link
+from .message import WireMessage
+
+
+@dataclass
+class Switch:
+    """A crossbar switch joining per-endpoint up/down links.
+
+    Parameters
+    ----------
+    up_links:
+        ``up_links[i]`` carries traffic from endpoint *i* into the
+        switch.
+    down_links:
+        ``down_links[i]`` carries traffic from the switch to endpoint
+        *i*.
+    forwarding_ns:
+        Cut-through/queuing latency inside the switch.
+    """
+
+    up_links: list[Link]
+    down_links: list[Link]
+    forwarding_ns: float = 100.0
+    _pending_down: dict[int, list[tuple[float, WireMessage]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.up_links) != len(self.down_links):
+            raise ValueError("switch needs matching up/down link counts")
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.up_links)
+
+    def route(self, msg: WireMessage, ready_time: float) -> float:
+        """Carry ``msg`` from its source to its destination port.
+
+        Returns the delivery time at the destination endpoint.  The
+        source's up-link is used in caller order; the destination's
+        down-link arbitration is FIFO by switch-arrival time, which the
+        per-link ``busy_until`` already provides because the engine
+        processes events in time order.
+        """
+        if not (0 <= msg.src < self.n_ports and 0 <= msg.dst < self.n_ports):
+            raise ValueError(
+                f"message endpoints {msg.src}->{msg.dst} outside switch "
+                f"port range 0..{self.n_ports - 1}"
+            )
+        if msg.src == msg.dst:
+            raise ValueError("local traffic must not enter the switch")
+        _, at_switch = self.up_links[msg.src].transmit(msg, ready_time)
+        _, delivered = self.down_links[msg.dst].transmit(
+            msg, at_switch + self.forwarding_ns
+        )
+        return delivered
+
+    def reset(self) -> None:
+        for link in (*self.up_links, *self.down_links):
+            link.reset()

@@ -1,0 +1,183 @@
+"""Interconnect topologies: switched PCIe trees.
+
+Two topologies are provided:
+
+* :func:`single_switch` -- the paper's 4-GPU testbed: every GPU hangs
+  off one PCIe switch with a full-duplex x16 link.
+* :func:`two_level_tree` -- the projected 16-GPU system of Sec. VI-B:
+  leaf switches of ``fanout`` GPUs joined by a root switch.
+
+A :class:`Topology` owns all links and switches, routes messages along
+the unique tree path, and aggregates link statistics for the metrics
+layer.  ``networkx`` backs the structural representation so tests can
+assert connectivity/path properties independently of the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from .flowcontrol import CreditPool
+from .link import Link, LinkStats
+from .message import WireMessage
+from .pcie import PCIE_GEN4, PCIeGeneration
+
+
+@dataclass
+class Topology:
+    """A tree of switches carrying inter-GPU traffic.
+
+    The object exposes a single :meth:`route` entry point used by the
+    simulation engine; everything else is introspection for tests and
+    reports.
+    """
+
+    n_gpus: int
+    generation: PCIeGeneration
+    graph: nx.Graph
+    #: ``links[(a, b)]`` carries traffic from node ``a`` to node ``b``;
+    #: nodes are "gpuN" and "swN" strings.
+    links: dict[tuple[str, str], Link]
+    forwarding_ns: float = 100.0
+    _paths: dict[tuple[int, int], list[str]] = field(default_factory=dict)
+
+    def _path(self, src: int, dst: int) -> list[str]:
+        key = (src, dst)
+        if key not in self._paths:
+            self._paths[key] = nx.shortest_path(
+                self.graph, f"gpu{src}", f"gpu{dst}"
+            )
+        return self._paths[key]
+
+    def route(self, msg: WireMessage, ready_time: float) -> float:
+        """Carry ``msg`` hop by hop; returns delivery time at ``msg.dst``."""
+        if msg.src == msg.dst:
+            raise ValueError("local traffic must not enter the interconnect")
+        path = self._path(msg.src, msg.dst)
+        t = ready_time
+        for hop, (a, b) in enumerate(zip(path, path[1:])):
+            if hop > 0:
+                t += self.forwarding_ns
+            _, t = self.links[(a, b)].transmit(msg, t)
+        return t
+
+    def egress_stats(self, gpu: int) -> LinkStats:
+        """Aggregated traffic counters of ``gpu``'s outgoing link(s)."""
+        total = LinkStats()
+        for neighbor in self.graph.neighbors(f"gpu{gpu}"):
+            stats = self.links[(f"gpu{gpu}", neighbor)].stats
+            total.messages += stats.messages
+            total.payload_bytes += stats.payload_bytes
+            total.overhead_bytes += stats.overhead_bytes
+            total.stores_packed += stats.stores_packed
+            total.busy_time_ns += stats.busy_time_ns
+            for kind, count in stats.by_kind.items():
+                total.by_kind[kind] = total.by_kind.get(kind, 0) + count
+        return total
+
+    def all_stats(self) -> dict[tuple[str, str], LinkStats]:
+        return {edge: link.stats for edge, link in self.links.items()}
+
+    def total_wire_bytes(self) -> int:
+        return sum(s.wire_bytes for s in self.all_stats().values())
+
+    def reset(self) -> None:
+        for link in self.links.values():
+            link.reset()
+
+
+def _add_duplex(
+    links: dict[tuple[str, str], Link],
+    graph: nx.Graph,
+    a: str,
+    b: str,
+    generation: PCIeGeneration,
+    propagation_ns: float,
+    with_credits: bool,
+) -> None:
+    graph.add_edge(a, b)
+    for u, v in ((a, b), (b, a)):
+        credits = CreditPool() if with_credits and v.startswith("gpu") else None
+        links[(u, v)] = Link(
+            name=f"{u}->{v}",
+            bytes_per_ns=generation.bytes_per_ns,
+            propagation_ns=propagation_ns,
+            credits=credits,
+        )
+
+
+def single_switch(
+    n_gpus: int = 4,
+    generation: PCIeGeneration = PCIE_GEN4,
+    propagation_ns: float = 50.0,
+    with_credits: bool = False,
+) -> Topology:
+    """The paper's testbed: ``n_gpus`` GPUs under one PCIe switch."""
+    if n_gpus < 2:
+        raise ValueError("a multi-GPU topology needs at least 2 GPUs")
+    graph: nx.Graph = nx.Graph()
+    links: dict[tuple[str, str], Link] = {}
+    for i in range(n_gpus):
+        _add_duplex(
+            links, graph, f"gpu{i}", "sw0", generation, propagation_ns, with_credits
+        )
+    return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)
+
+
+def fully_connected(
+    n_gpus: int = 4,
+    generation: PCIeGeneration = PCIE_GEN4,
+    propagation_ns: float = 50.0,
+    with_credits: bool = False,
+) -> Topology:
+    """NVSwitch-class connectivity: a dedicated duplex link per GPU pair.
+
+    Models NVLink/NVSwitch systems where every GPU reaches every peer
+    in one hop with no shared egress port.  Used for what-if studies
+    beyond the paper's switched-PCIe testbed (the per-packet byte costs
+    still come from whichever protocol the system is built with).
+    """
+    if n_gpus < 2:
+        raise ValueError("a multi-GPU topology needs at least 2 GPUs")
+    graph: nx.Graph = nx.Graph()
+    links: dict[tuple[str, str], Link] = {}
+    for i in range(n_gpus):
+        graph.add_node(f"gpu{i}")
+    for i in range(n_gpus):
+        for j in range(i + 1, n_gpus):
+            _add_duplex(
+                links,
+                graph,
+                f"gpu{i}",
+                f"gpu{j}",
+                generation,
+                propagation_ns,
+                with_credits,
+            )
+    return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)
+
+
+def two_level_tree(
+    n_gpus: int = 16,
+    fanout: int = 4,
+    generation: PCIeGeneration = PCIE_GEN4,
+    propagation_ns: float = 50.0,
+    with_credits: bool = False,
+) -> Topology:
+    """A 16-GPU-class system: leaf switches joined by a root switch."""
+    if n_gpus % fanout:
+        raise ValueError(f"n_gpus={n_gpus} must be a multiple of fanout={fanout}")
+    graph: nx.Graph = nx.Graph()
+    links: dict[tuple[str, str], Link] = {}
+    n_leaves = n_gpus // fanout
+    for leaf in range(n_leaves):
+        sw = f"sw{leaf + 1}"
+        for j in range(fanout):
+            gpu = leaf * fanout + j
+            _add_duplex(
+                links, graph, f"gpu{gpu}", sw, generation, propagation_ns, with_credits
+            )
+        _add_duplex(links, graph, sw, "sw0", generation, propagation_ns, False)
+    return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)

@@ -1,0 +1,81 @@
+"""Simulation layer: discrete-event engine, byte-accounting metrics,
+communication paradigms, the multi-GPU system, and experiment runners."""
+
+from .engine import Engine
+from .metrics import (
+    ByteBreakdown,
+    LinkUtilization,
+    PacketStats,
+    RunMetrics,
+    classify_messages,
+)
+from .replay import EventReplaySession, ReplayError, ReplayReport, phase_events
+from .sweep import SweepPoint, SweepResult, generation_sweep, single_gpu_time, sweep
+from .timeline import render_comparison, render_timeline
+from .validation import ValidationError, ValidationReport, validate
+from .gps import SubscriptionStats, SubscriptionTable
+from .paradigms import (
+    PARADIGMS,
+    BulkDMAParadigm,
+    FinePackParadigm,
+    GPSParadigm,
+    InfiniteBandwidthParadigm,
+    P2PStoreParadigm,
+    Paradigm,
+    SlicedDMAParadigm,
+    WriteCombiningParadigm,
+    make_paradigm,
+)
+from .runner import (
+    FIGURE9_PARADIGMS,
+    ComparisonResult,
+    ExperimentConfig,
+    build_system,
+    compare_paradigms,
+    geomean,
+    run_workload,
+)
+from .system import MultiGPUSystem
+
+__all__ = [
+    "Engine",
+    "ByteBreakdown",
+    "LinkUtilization",
+    "EventReplaySession",
+    "ReplayError",
+    "ReplayReport",
+    "phase_events",
+    "SweepPoint",
+    "SweepResult",
+    "generation_sweep",
+    "single_gpu_time",
+    "sweep",
+    "render_comparison",
+    "render_timeline",
+    "ValidationError",
+    "ValidationReport",
+    "validate",
+    "PacketStats",
+    "RunMetrics",
+    "classify_messages",
+    "PARADIGMS",
+    "BulkDMAParadigm",
+    "FinePackParadigm",
+    "GPSParadigm",
+    "InfiniteBandwidthParadigm",
+    "P2PStoreParadigm",
+    "Paradigm",
+    "SlicedDMAParadigm",
+    "SubscriptionStats",
+    "SubscriptionTable",
+    "WriteCombiningParadigm",
+    "make_paradigm",
+    "FIGURE9_PARADIGMS",
+    "ComparisonResult",
+    "ExperimentConfig",
+    "build_system",
+    "compare_paradigms",
+    "geomean",
+    "run_workload",
+    "MultiGPUSystem",
+]

@@ -1,0 +1,209 @@
+"""Byte-accounting ledger and run metrics (paper Figure 10/11 inputs).
+
+Every payload byte that crosses the interconnect is classified as
+
+* **useful** -- it carries a final value (not later overwritten before
+  the consumer synchronizes) that the destination GPU actually reads;
+* **wasted (redundant)** -- a value overwritten by a later store to the
+  same address before the consumer could read it;
+* **wasted (unread)** -- delivered but never read by the destination
+  (over-transfer: untouched bytes in a DMA region or a GPS cacheline);
+* protocol **overhead** bytes are accounted separately from payload.
+
+Classification is interval arithmetic: delivered ranges vs. the
+producer's final-value footprint vs. the consumer's read set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..interconnect.message import MessageKind, WireMessage
+from ..trace.intervals import IntervalSet
+
+
+@dataclass
+class ByteBreakdown:
+    """The Figure 10 byte categories."""
+
+    useful: int = 0
+    wasted_redundant: int = 0
+    wasted_unread: int = 0
+    overhead: int = 0
+
+    @property
+    def wasted(self) -> int:
+        return self.wasted_redundant + self.wasted_unread
+
+    @property
+    def payload(self) -> int:
+        return self.useful + self.wasted
+
+    @property
+    def total(self) -> int:
+        return self.payload + self.overhead
+
+    def add(self, other: "ByteBreakdown") -> None:
+        self.useful += other.useful
+        self.wasted_redundant += other.wasted_redundant
+        self.wasted_unread += other.wasted_unread
+        self.overhead += other.overhead
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "useful": self.useful,
+            "wasted_redundant": self.wasted_redundant,
+            "wasted_unread": self.wasted_unread,
+            "overhead": self.overhead,
+            "total": self.total,
+        }
+
+
+def classify_messages(
+    messages: list[WireMessage],
+    final_footprint: IntervalSet,
+    read_set: IntervalSet,
+) -> ByteBreakdown:
+    """Classify one (src, dst, iteration) group of messages.
+
+    Parameters
+    ----------
+    messages:
+        All messages the source sent to this destination during the
+        iteration; each must carry ``meta["ranges"]``.
+    final_footprint:
+        Union of bytes the producer stored this iteration -- bytes
+        outside it were never updated (DMA/GPS over-transfer).
+    read_set:
+        Bytes the destination reads when it consumes this data.
+    """
+    breakdown = ByteBreakdown()
+    if not messages:
+        return breakdown
+    # Single-range messages carry a scalar (addr, size) annotation
+    # ("range1"); packed messages carry ("ranges") array pairs.  The
+    # scalar path avoids one numpy array pair per store message.
+    single_starts: list[int] = []
+    single_lens: list[int] = []
+    starts_parts: list[np.ndarray] = []
+    lens_parts: list[np.ndarray] = []
+    delivered_payload = 0
+    for msg in messages:
+        breakdown.overhead += msg.overhead_bytes
+        delivered_payload += msg.payload_bytes
+        single = msg.meta.get("range1")
+        if single is not None:
+            single_starts.append(single[0])
+            single_lens.append(single[1])
+            continue
+        ranges = msg.meta.get("ranges")
+        if ranges is None:
+            raise ValueError(f"message {msg} lacks range annotations")
+        starts_parts.append(np.asarray(ranges[0], dtype=np.int64))
+        lens_parts.append(np.asarray(ranges[1], dtype=np.int64))
+    if single_starts:
+        starts_parts.append(np.asarray(single_starts, dtype=np.int64))
+        lens_parts.append(np.asarray(single_lens, dtype=np.int64))
+    starts = np.concatenate(starts_parts) if starts_parts else np.empty(0, np.int64)
+    lens = np.concatenate(lens_parts) if lens_parts else np.empty(0, np.int64)
+    delivered_union = IntervalSet.from_ranges(starts, lens)
+    declared = int(lens.sum())
+    if declared != delivered_payload:
+        raise ValueError(
+            f"range annotations cover {declared} B but messages claim "
+            f"{delivered_payload} B of payload"
+        )
+    useful = delivered_union.intersect(final_footprint).intersect(read_set).total_bytes
+    unique = delivered_union.total_bytes
+    breakdown.useful += useful
+    breakdown.wasted_redundant += delivered_payload - unique
+    breakdown.wasted_unread += unique - useful
+    return breakdown
+
+
+@dataclass
+class PacketStats:
+    """Aggregated packet statistics (Figure 11 input)."""
+
+    messages: int = 0
+    stores_carried: int = 0
+    by_kind: dict[MessageKind, int] = field(default_factory=dict)
+    #: stores_packed of each data-carrying message, for distributions.
+    packed_counts: list[int] = field(default_factory=list)
+
+    def record(self, msg: WireMessage) -> None:
+        self.messages += 1
+        self.stores_carried += msg.stores_packed
+        self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
+        if msg.kind in (MessageKind.FINEPACK, MessageKind.STORE, MessageKind.COMBINED_STORE):
+            self.packed_counts.append(msg.stores_packed)
+
+    @property
+    def mean_stores_per_packet(self) -> float:
+        if not self.packed_counts:
+            return 0.0
+        return float(np.mean(self.packed_counts))
+
+
+@dataclass
+class LinkUtilization:
+    """Busy-time fraction of each interconnect link over the run."""
+
+    by_link: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def peak(self) -> float:
+        return max(self.by_link.values(), default=0.0)
+
+    @property
+    def mean(self) -> float:
+        if not self.by_link:
+            return 0.0
+        return sum(self.by_link.values()) / len(self.by_link)
+
+    def gpu_egress(self) -> dict[str, float]:
+        """Utilization of the GPU upstream links only."""
+        return {k: v for k, v in self.by_link.items() if k.startswith("gpu")}
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one (workload, paradigm) simulation."""
+
+    workload: str
+    paradigm: str
+    n_gpus: int
+    total_time_ns: float = 0.0
+    iteration_times_ns: list[float] = field(default_factory=list)
+    compute_time_ns: float = 0.0
+    bytes: ByteBreakdown = field(default_factory=ByteBreakdown)
+    packets: PacketStats = field(default_factory=PacketStats)
+    links: LinkUtilization = field(default_factory=LinkUtilization)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.bytes.total
+
+    @property
+    def goodput(self) -> float:
+        return self.bytes.payload / self.bytes.total if self.bytes.total else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Useful fraction of all bytes on the wire."""
+        return self.bytes.useful / self.bytes.total if self.bytes.total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "workload": self.workload,
+            "paradigm": self.paradigm,
+            "n_gpus": self.n_gpus,
+            "total_time_ms": self.total_time_ns / 1e6,
+            "wire_MB": self.bytes.total / 1e6,
+            "useful_MB": self.bytes.useful / 1e6,
+            "goodput": round(self.goodput, 4),
+            "efficiency": round(self.efficiency, 4),
+            "stores_per_packet": round(self.packets.mean_stores_per_packet, 2),
+        }

@@ -1,0 +1,216 @@
+"""Execution-driven replay: feed fine-grained trace events directly.
+
+The paper's NVAS substrate is *trace- and execution-driven*: besides
+replaying bulk traces, it consumes instruction-level event streams as
+an attached execution produces them.  :class:`EventReplaySession` is
+that second front end for this simulator: callers feed
+:mod:`repro.trace.events` objects (stores, loads, atomics, fences,
+kernel boundaries, peer copies) in per-GPU timestamp order, and the
+session drives the active paradigm's egress engines and the switched
+interconnect live, accumulating the same statistics as the bulk path.
+
+This is the integration point for coupling an actual application (or a
+finer simulator) to the FinePack model without materializing a
+:class:`~repro.trace.stream.WorkloadTrace` first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.consistency import Scope
+from ..gpu.memory import owner_of
+from ..interconnect.message import MessageKind, WireMessage
+from ..trace.events import (
+    AtomicEvent,
+    EventKind,
+    FenceEvent,
+    LoadEvent,
+    MemcpyPeerEvent,
+    StoreEvent,
+    TraceEvent,
+)
+from .metrics import PacketStats
+from .system import MultiGPUSystem
+
+
+@dataclass
+class ReplayReport:
+    """What an event-replay session observed."""
+
+    events: int = 0
+    stores: int = 0
+    loads: int = 0
+    atomics: int = 0
+    fences: int = 0
+    copies: int = 0
+    wire_payload_bytes: int = 0
+    wire_overhead_bytes: int = 0
+    last_delivery_ns: float = 0.0
+    packets: PacketStats = field(default_factory=PacketStats)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.wire_payload_bytes + self.wire_overhead_bytes
+
+
+class ReplayError(Exception):
+    """An event stream violated the replay contract."""
+
+
+class EventReplaySession:
+    """Drives a :class:`MultiGPUSystem` from a live event stream.
+
+    Parameters
+    ----------
+    system:
+        The simulated platform (provides topology and protocol).
+    paradigm:
+        The communication paradigm whose egress engines translate
+        events into wire messages.  Store-based paradigms only -- the
+        memcpy paradigm has no event-level egress semantics beyond
+        :class:`MemcpyPeerEvent`, which is handled directly.
+    strict_release:
+        When True (default), a system-scoped fence that leaves data in
+        any egress buffer raises -- the memory-model conformance check.
+    """
+
+    def __init__(self, system: MultiGPUSystem, paradigm, strict_release: bool = True):
+        if system.topology is None:
+            raise ValueError("event replay needs a multi-GPU system")
+        self.system = system
+        self.paradigm = paradigm
+        self.strict_release = strict_release
+        paradigm.attach(system.n_gpus, system.protocol)
+        self.engines = paradigm.engines
+        self.report = ReplayReport()
+        self._last_time = [0.0] * system.n_gpus
+        self._finished = False
+
+    # -- internals ----------------------------------------------------
+
+    def _check_time(self, event: TraceEvent) -> None:
+        if not 0 <= event.gpu < self.system.n_gpus:
+            raise ReplayError(f"event GPU {event.gpu} outside system")
+        if event.time < self._last_time[event.gpu]:
+            raise ReplayError(
+                f"events for GPU {event.gpu} went backwards: "
+                f"{event.time} < {self._last_time[event.gpu]}"
+            )
+        self._last_time[event.gpu] = event.time
+
+    def _route(self, messages: list[WireMessage]) -> None:
+        for msg in messages:
+            delivered = self.system.topology.route(msg, msg.issue_time)
+            self.report.packets.record(msg)
+            self.report.wire_payload_bytes += msg.payload_bytes
+            self.report.wire_overhead_bytes += msg.overhead_bytes
+            self.report.last_delivery_ns = max(
+                self.report.last_delivery_ns, delivered
+            )
+
+    # -- event intake --------------------------------------------------
+
+    def feed(self, event: TraceEvent) -> None:
+        """Consume one event; routes any wire traffic it produced."""
+        if self._finished:
+            raise ReplayError("session already finished")
+        self._check_time(event)
+        self.report.events += 1
+        engine = self.engines[event.gpu]
+
+        if isinstance(event, StoreEvent):
+            self.report.stores += 1
+            dst = event.dst if event.dst >= 0 else owner_of(event.addr)
+            if dst == event.gpu:
+                return  # local store: no interconnect traffic
+            self._route(engine.on_store(event.addr, event.size, dst, event.time))
+        elif isinstance(event, AtomicEvent):
+            self.report.atomics += 1
+            dst = event.dst if event.dst >= 0 else owner_of(event.addr)
+            if dst == event.gpu:
+                return
+            self._route(engine.on_atomic(event.addr, event.size, dst, event.time))
+        elif isinstance(event, LoadEvent):
+            self.report.loads += 1
+            dst = event.dst if event.dst >= 0 else owner_of(event.addr)
+            if dst == event.gpu:
+                return
+            self._route(
+                engine.on_remote_load(event.addr, event.size, dst, event.time)
+            )
+        elif isinstance(event, FenceEvent):
+            self.report.fences += 1
+            if event.scope is Scope.SYSTEM:
+                self._release(event.gpu, event.time)
+        elif isinstance(event, MemcpyPeerEvent):
+            self.report.copies += 1
+            payload, overhead = self.system.protocol.bulk_transfer_cost(
+                event.nbytes
+            )
+            self._route(
+                [
+                    WireMessage(
+                        src=event.gpu,
+                        dst=event.dst,
+                        payload_bytes=payload,
+                        overhead_bytes=overhead,
+                        kind=MessageKind.DMA_CHUNK,
+                        issue_time=event.time,
+                        stores_packed=0,
+                        meta={"range1": (event.dst_addr, event.nbytes)},
+                    )
+                ]
+            )
+        elif event.kind in (EventKind.KERNEL_BEGIN, EventKind.KERNEL_END):
+            if event.kind is EventKind.KERNEL_END:
+                self._release(event.gpu, event.time)
+        else:  # pragma: no cover - exhaustive over the vocabulary
+            raise ReplayError(f"unhandled event kind {event.kind}")
+
+    def _release(self, gpu: int, time: float) -> None:
+        engine = self.engines[gpu]
+        self._route(engine.on_release(time))
+        if self.strict_release:
+            leftovers = engine.on_release(time)
+            if leftovers:
+                raise ReplayError(
+                    f"GPU {gpu} egress retained data across a "
+                    f"system-scoped release"
+                )
+
+    def finish(self) -> ReplayReport:
+        """Flush every GPU and return the accumulated report."""
+        if not self._finished:
+            for gpu, engine in enumerate(self.engines):
+                self._route(engine.on_release(self._last_time[gpu]))
+            self._finished = True
+        return self.report
+
+
+def phase_events(phase, start: float, end: float):
+    """Bridge: expand a phase-level trace into an event stream.
+
+    Yields the kernel boundary, the remote stores spread across
+    ``(start, end]`` and the closing kernel end -- the same issue model
+    the bulk path uses, enabling equivalence testing between the two
+    front ends.
+    """
+    from ..trace.events import EventKind as EK
+    from ..trace.events import StoreEvent as SE
+    from ..trace.events import TraceEvent as TE
+
+    yield TE(kind=EK.KERNEL_BEGIN, gpu=phase.gpu, time=start)
+    s = phase.stores
+    n = s.count
+    for i in range(n):
+        t = start + (end - start) * (i + 1) / n
+        yield SE(
+            kind=EK.STORE,
+            gpu=phase.gpu,
+            time=t,
+            addr=int(s.addrs[i]),
+            size=int(s.sizes[i]),
+            dst=int(s.dsts[i]),
+        )
+    yield TE(kind=EK.KERNEL_END, gpu=phase.gpu, time=end)

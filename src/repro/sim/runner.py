@@ -1,0 +1,148 @@
+"""High-level experiment runner.
+
+Convenience entry points the examples and benchmarks build on:
+
+* :func:`run_workload` -- trace one workload and replay it under one
+  paradigm.
+* :func:`compare_paradigms` -- the paper's core experiment: trace once,
+  replay under every paradigm plus the single-GPU baseline, and report
+  speedups (Figure 9), byte breakdowns (Figure 10) and coalescing
+  statistics (Figure 11).
+
+Traces are generated once per (workload, GPU count, seed) and shared
+across paradigms, exactly like replaying one NVBit trace through
+different simulator configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import FinePackConfig
+from ..gpu.compute import ComputeModel
+from ..interconnect.pcie import PCIE_GEN4, PCIeGeneration
+from ..trace.stream import WorkloadTrace
+from .metrics import RunMetrics
+from .paradigms import FinePackParadigm, Paradigm, make_paradigm
+from .system import MultiGPUSystem
+
+#: The four bars of the paper's Figure 9.
+FIGURE9_PARADIGMS = ("p2p", "dma", "finepack", "infinite")
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment entry points."""
+
+    n_gpus: int = 4
+    iterations: int = 3
+    seed: int = 7
+    generation: PCIeGeneration = PCIE_GEN4
+    finepack_config: FinePackConfig = field(default_factory=FinePackConfig)
+    compute: ComputeModel = field(default_factory=ComputeModel)
+    barrier_ns: float = 2_000.0
+    two_level: bool = False
+
+
+def build_system(config: ExperimentConfig, n_gpus: int | None = None) -> MultiGPUSystem:
+    return MultiGPUSystem.build(
+        n_gpus=config.n_gpus if n_gpus is None else n_gpus,
+        generation=config.generation,
+        compute=config.compute,
+        finepack_config=config.finepack_config,
+        barrier_ns=config.barrier_ns,
+        two_level=config.two_level,
+    )
+
+
+def _paradigm_instance(name_or_obj: str | Paradigm, config: ExperimentConfig) -> Paradigm:
+    if isinstance(name_or_obj, Paradigm):
+        return name_or_obj
+    if name_or_obj == "finepack":
+        return FinePackParadigm(config.finepack_config)
+    return make_paradigm(name_or_obj)
+
+
+def run_workload(
+    workload,
+    paradigm: str | Paradigm,
+    config: ExperimentConfig | None = None,
+    trace: WorkloadTrace | None = None,
+) -> RunMetrics:
+    """Trace ``workload`` (unless a trace is supplied) and replay it."""
+    config = config or ExperimentConfig()
+    if trace is None:
+        trace = workload.generate_trace(
+            n_gpus=config.n_gpus, iterations=config.iterations, seed=config.seed
+        )
+    system = build_system(config, n_gpus=trace.n_gpus)
+    return system.run(trace, _paradigm_instance(paradigm, config))
+
+
+@dataclass
+class ComparisonResult:
+    """All paradigms' metrics for one workload, plus the 1-GPU baseline."""
+
+    workload: str
+    single_gpu: RunMetrics
+    runs: dict[str, RunMetrics]
+
+    def speedup(self, paradigm: str) -> float:
+        """Multi-GPU speedup over the single-GPU baseline (Figure 9)."""
+        run = self.runs[paradigm]
+        return self.single_gpu.total_time_ns / run.total_time_ns
+
+    def speedups(self) -> dict[str, float]:
+        return {name: self.speedup(name) for name in self.runs}
+
+    def bytes_normalized_to(self, reference: str = "dma") -> dict[str, dict[str, float]]:
+        """Byte breakdowns normalized to a reference paradigm (Figure 10)."""
+        ref_total = self.runs[reference].bytes.total
+        if ref_total == 0:
+            raise ValueError(f"reference paradigm {reference!r} moved no bytes")
+        out: dict[str, dict[str, float]] = {}
+        for name, run in self.runs.items():
+            b = run.bytes
+            out[name] = {
+                "useful": b.useful / ref_total,
+                "protocol_overhead": b.overhead / ref_total,
+                "wasted": b.wasted / ref_total,
+                "total": b.total / ref_total,
+            }
+        return out
+
+
+def compare_paradigms(
+    workload,
+    paradigms: tuple[str, ...] = FIGURE9_PARADIGMS,
+    config: ExperimentConfig | None = None,
+) -> ComparisonResult:
+    """Run the paper's core comparison for one workload."""
+    config = config or ExperimentConfig()
+    multi_trace = workload.generate_trace(
+        n_gpus=config.n_gpus, iterations=config.iterations, seed=config.seed
+    )
+    single_trace = workload.generate_trace(
+        n_gpus=1, iterations=config.iterations, seed=config.seed
+    )
+    single_system = build_system(config, n_gpus=1)
+    single = single_system.run(single_trace, make_paradigm("infinite"))
+
+    runs: dict[str, RunMetrics] = {}
+    for name in paradigms:
+        system = build_system(config, n_gpus=config.n_gpus)
+        instance = _paradigm_instance(name, config)
+        runs[instance.name] = system.run(multi_trace, instance)
+    return ComparisonResult(workload=workload.name, single_gpu=single, runs=runs)
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the paper's cross-workload aggregate)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean needs positive values, got {values}")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,98 @@
+"""Parameter-sweep utility.
+
+The paper's sensitivity studies (Figs. 12 and 13) and our extension
+ablations all share the same structure: trace once, replay under a grid
+of configurations, report speedups against the single-GPU baseline.
+:func:`sweep` captures that pattern for the benches, the CLI, and
+downstream users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..interconnect.pcie import PCIeGeneration
+from ..trace.stream import WorkloadTrace
+from .metrics import RunMetrics
+from .paradigms import Paradigm, make_paradigm
+from .system import MultiGPUSystem
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep result."""
+
+    label: str
+    metrics: RunMetrics
+    speedup: float
+
+
+@dataclass
+class SweepResult:
+    workload: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def by_label(self) -> dict[str, SweepPoint]:
+        return {p.label: p for p in self.points}
+
+    def best(self) -> SweepPoint:
+        if not self.points:
+            raise ValueError("empty sweep")
+        return max(self.points, key=lambda p: p.speedup)
+
+
+def single_gpu_time(workload, iterations: int = 2, seed: int = 7) -> float:
+    """Baseline time for speedup normalization."""
+    trace = workload.generate_trace(n_gpus=1, iterations=iterations, seed=seed)
+    system = MultiGPUSystem.build(n_gpus=1)
+    return system.run(trace, make_paradigm("infinite")).total_time_ns
+
+
+def sweep(
+    workload,
+    configurations: dict[str, Callable[[], tuple[MultiGPUSystem, Paradigm]]],
+    n_gpus: int = 4,
+    iterations: int = 2,
+    seed: int = 7,
+    trace: WorkloadTrace | None = None,
+) -> SweepResult:
+    """Replay one trace under each (system, paradigm) configuration.
+
+    ``configurations`` maps a label to a zero-argument factory so each
+    point gets fresh simulator state; the trace is generated once.
+    """
+    if trace is None:
+        trace = workload.generate_trace(
+            n_gpus=n_gpus, iterations=iterations, seed=seed
+        )
+    t1 = single_gpu_time(workload, iterations=iterations, seed=seed)
+    result = SweepResult(workload=workload.name)
+    for label, factory in configurations.items():
+        system, paradigm = factory()
+        metrics = system.run(trace, paradigm)
+        result.points.append(
+            SweepPoint(
+                label=label, metrics=metrics, speedup=t1 / metrics.total_time_ns
+            )
+        )
+    return result
+
+
+def generation_sweep(
+    workload,
+    generations: dict[str, PCIeGeneration],
+    paradigm_name: str = "finepack",
+    **kwargs,
+) -> SweepResult:
+    """Convenience wrapper for the Figure 13 pattern."""
+    configurations = {
+        label: (
+            lambda g=gen: (
+                MultiGPUSystem.build(n_gpus=kwargs.get("n_gpus", 4), generation=g),
+                make_paradigm(paradigm_name),
+            )
+        )
+        for label, gen in generations.items()
+    }
+    return sweep(workload, configurations, **kwargs)

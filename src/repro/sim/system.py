@@ -1,0 +1,213 @@
+"""The multi-GPU system simulator.
+
+Ties the substrates together: per-GPU compute timing, paradigm egress
+engines, the switched interconnect, receiver-side ingress draining, and
+the per-iteration bulk-synchronous barrier.  One call to
+:meth:`MultiGPUSystem.run` replays a workload trace under one paradigm
+and returns complete :class:`RunMetrics`.
+
+Timeline of one iteration (paper's execution model):
+
+1. Every GPU starts its kernel at the barrier; the kernel lasts a
+   roofline-modelled duration.
+2. Store-based paradigms issue their remote stores spread across the
+   kernel (overlap); kernel end acts as a system-scoped release that
+   flushes egress buffers.  The memcpy paradigm instead issues bulk
+   copies after the kernel, paying per-call software overhead.
+3. Messages serialize through the switched topology in global time
+   order (discrete-event), then drain into the destination's memory
+   system (FinePack packets pass the de-packetizer's bounded ingress
+   buffer).
+4. The next iteration starts when all kernels are done *and* all
+   traffic has drained, plus a barrier cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import FinePackConfig
+from ..core.depacketizer import Depacketizer
+from ..gpu.compute import ComputeModel
+from ..gpu.gpu import GPU
+from ..interconnect.message import MessageKind, WireMessage
+from ..interconnect.pcie import PCIE_GEN4, PCIeGeneration, PCIeProtocol
+from ..interconnect.topology import (
+    Topology,
+    fully_connected,
+    single_switch,
+    two_level_tree,
+)
+from ..trace.intervals import IntervalSet
+from ..trace.stream import WorkloadTrace
+from .engine import Engine
+from .metrics import RunMetrics, classify_messages
+from .paradigms import Paradigm
+
+
+@dataclass
+class MultiGPUSystem:
+    """An N-GPU node with a switched PCIe interconnect."""
+
+    n_gpus: int
+    protocol: PCIeProtocol
+    gpus: list[GPU]
+    topology: Topology | None
+    finepack_config: FinePackConfig = field(default_factory=FinePackConfig)
+    #: Cost of the inter-GPU synchronization barrier per iteration.
+    barrier_ns: float = 2_000.0
+
+    @classmethod
+    def build(
+        cls,
+        n_gpus: int = 4,
+        generation: PCIeGeneration = PCIE_GEN4,
+        compute: ComputeModel | None = None,
+        finepack_config: FinePackConfig | None = None,
+        barrier_ns: float = 2_000.0,
+        two_level: bool = False,
+        topology_kind: str | None = None,
+        with_credits: bool = False,
+    ) -> "MultiGPUSystem":
+        """Construct the paper's testbed (or a variant).
+
+        ``topology_kind`` selects ``"single_switch"`` (the paper's 4-GPU
+        testbed, default), ``"two_level"`` (the projected 16-GPU tree)
+        or ``"fully_connected"`` (NVSwitch-class pairwise links); the
+        legacy ``two_level`` flag is a shorthand for the second.
+        """
+        compute = compute or ComputeModel()
+        gpus = [GPU(index=i, compute=compute) for i in range(n_gpus)]
+        topology: Topology | None = None
+        if n_gpus > 1:
+            kind = topology_kind or ("two_level" if two_level else "single_switch")
+            factories = {
+                "single_switch": single_switch,
+                "two_level": two_level_tree,
+                "fully_connected": fully_connected,
+            }
+            if kind not in factories:
+                raise ValueError(
+                    f"unknown topology {kind!r}; pick from {sorted(factories)}"
+                )
+            topology = factories[kind](
+                n_gpus=n_gpus, generation=generation, with_credits=with_credits
+            )
+        return cls(
+            n_gpus=n_gpus,
+            protocol=PCIeProtocol(generation),
+            gpus=gpus,
+            topology=topology,
+            finepack_config=finepack_config or FinePackConfig(),
+            barrier_ns=barrier_ns,
+        )
+
+    def run(self, trace: WorkloadTrace, paradigm: Paradigm) -> RunMetrics:
+        """Replay ``trace`` under ``paradigm``; returns run metrics."""
+        if trace.n_gpus != self.n_gpus:
+            raise ValueError(
+                f"trace is for {trace.n_gpus} GPUs, system has {self.n_gpus}"
+            )
+        paradigm.attach(self.n_gpus, self.protocol)
+        if self.topology is not None:
+            self.topology.reset()
+        engine = Engine()
+        depacketizers = [
+            Depacketizer(
+                self.finepack_config,
+                drain_bytes_per_ns=g.hbm.drain_rate(),
+            )
+            for g in self.gpus
+        ]
+        metrics = RunMetrics(
+            workload=trace.name, paradigm=paradigm.name, n_gpus=self.n_gpus
+        )
+
+        t = 0.0
+        n_iters = trace.n_iterations
+        for k, iteration in enumerate(trace.iterations):
+            compute_end = {
+                p.gpu: t + self.gpus[p.gpu].kernel_time_ns(p.work)
+                for p in iteration.phases
+            }
+            # Data produced in iteration k is consumed in iteration k+1;
+            # the final iteration reuses its own read set as the
+            # steady-state consumer.
+            consumer_iter = trace.iterations[min(k + 1, n_iters - 1)]
+            consumer_reads: dict[int, IntervalSet] = {
+                p.gpu: p.reads for p in consumer_iter.phases
+            }
+
+            per_pair: dict[tuple[int, int], list[WireMessage]] = {}
+            all_msgs: list[WireMessage] = []
+            for phase in iteration.phases:
+                msgs = paradigm.phase_messages(
+                    phase, t, compute_end[phase.gpu], consumer_reads
+                )
+                for m in msgs:
+                    per_pair.setdefault((m.src, m.dst), []).append(m)
+                all_msgs.append(msgs)
+            all_msgs = [m for msgs in all_msgs for m in msgs]
+
+            completions = [t]
+
+            def inject(msg: WireMessage) -> None:
+                assert self.topology is not None
+                delivered = self.topology.route(msg, engine.now)
+                if msg.kind is MessageKind.FINEPACK:
+                    drained = depacketizers[msg.dst].admit(
+                        msg.meta["packet"], delivered
+                    )
+                else:
+                    drained = delivered + msg.payload_bytes / self.gpus[
+                        msg.dst
+                    ].hbm.drain_rate()
+                completions.append(drained)
+                metrics.packets.record(msg)
+
+            for m in sorted(all_msgs, key=lambda m: m.issue_time):
+                engine.schedule(m.issue_time, inject, m)
+            engine.run()
+
+            iteration_end = (
+                max(max(compute_end.values()), max(completions)) + self.barrier_ns
+            )
+            metrics.compute_time_ns += max(compute_end.values()) - t
+
+            for (src, dst), msgs in per_pair.items():
+                src_phase = iteration.phases[src]
+                footprint = src_phase.stores.for_dst(dst).footprint()
+                if src_phase.atomics.count:
+                    footprint = footprint.union(
+                        src_phase.atomics.for_dst(dst).footprint()
+                    )
+                # Software-aggregated DMA staging buffers are genuinely
+                # written by the producer in full.
+                staged = [
+                    t
+                    for t in src_phase.dma
+                    if t.dst == dst and t.aggregated
+                ]
+                if staged:
+                    footprint = footprint.union(
+                        IntervalSet.from_ranges(
+                            [t.dst_addr for t in staged],
+                            [t.nbytes for t in staged],
+                        )
+                    )
+                metrics.bytes.add(
+                    classify_messages(
+                        msgs, footprint, consumer_reads.get(dst, IntervalSet.empty())
+                    )
+                )
+
+            metrics.iteration_times_ns.append(iteration_end - t)
+            t = iteration_end
+
+        metrics.total_time_ns = t
+        if self.topology is not None and t > 0:
+            metrics.links.by_link = {
+                f"{a}->{b}": stats.busy_time_ns / t
+                for (a, b), stats in self.topology.all_stats().items()
+            }
+        return metrics

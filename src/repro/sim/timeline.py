@@ -1,0 +1,56 @@
+"""ASCII timeline rendering of a simulation run.
+
+Gives a quick visual of the paper's central mechanism -- how much of
+the communication hides under compute per iteration, and how busy each
+GPU's egress link is.  Intended for terminals and logs:
+
+    === pagerank / finepack: iteration timeline ===
+    it 0  compute |##########          | 10.1us   comm 48%  of iter
+    ...
+"""
+
+from __future__ import annotations
+
+from .metrics import RunMetrics
+
+
+def render_timeline(metrics: RunMetrics, width: int = 30) -> str:
+    """Render per-iteration compute-vs-iteration bars for one run."""
+    lines = [f"=== {metrics.workload} / {metrics.paradigm}: iteration timeline ==="]
+    n_iters = len(metrics.iteration_times_ns)
+    if n_iters == 0:
+        return lines[0] + "\n(no iterations)"
+    compute_per_iter = metrics.compute_time_ns / n_iters
+    for i, iter_ns in enumerate(metrics.iteration_times_ns):
+        frac = min(1.0, compute_per_iter / iter_ns) if iter_ns else 0.0
+        filled = int(round(frac * width))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(
+            f"it {i:<2d} compute |{bar}| {iter_ns / 1e3:8.1f} us "
+            f"({frac:4.0%} compute)"
+        )
+    if metrics.links.by_link:
+        lines.append("egress link utilization:")
+        for name, frac in sorted(metrics.links.gpu_egress().items()):
+            filled = int(round(min(frac, 1.0) * width))
+            lines.append(
+                f"  {name:<12s} |{'#' * filled}{'.' * (width - filled)}| {frac:5.1%}"
+            )
+    return "\n".join(lines)
+
+
+def render_comparison(runs: dict[str, RunMetrics], width: int = 40) -> str:
+    """Side-by-side total-time bars for several paradigms."""
+    if not runs:
+        return "(no runs)"
+    slowest = max(m.total_time_ns for m in runs.values())
+    name_w = max(len(n) for n in runs)
+    lines = [f"=== {next(iter(runs.values())).workload}: total time ==="]
+    for name, m in runs.items():
+        frac = m.total_time_ns / slowest if slowest else 0.0
+        filled = max(1, int(round(frac * width)))
+        lines.append(
+            f"{name:<{name_w}s} |{'#' * filled:<{width}s}| "
+            f"{m.total_time_ns / 1e6:7.3f} ms"
+        )
+    return "\n".join(lines)

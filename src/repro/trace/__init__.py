@@ -1,0 +1,43 @@
+"""Trace substrate: interval algebra, event vocabulary, phase-level
+trace containers and trace (de)serialization."""
+
+from .events import (
+    AtomicEvent,
+    EventKind,
+    FenceEvent,
+    LoadEvent,
+    MemcpyPeerEvent,
+    StoreEvent,
+    TraceEvent,
+    fence,
+    store,
+)
+from .intervals import IntervalSet
+from .stream import (
+    DMATransfer,
+    IterationTrace,
+    KernelPhase,
+    RemoteStoreBatch,
+    WorkloadTrace,
+)
+from .tracefile import load_trace, save_trace
+
+__all__ = [
+    "AtomicEvent",
+    "EventKind",
+    "FenceEvent",
+    "LoadEvent",
+    "MemcpyPeerEvent",
+    "StoreEvent",
+    "TraceEvent",
+    "fence",
+    "store",
+    "IntervalSet",
+    "DMATransfer",
+    "IterationTrace",
+    "KernelPhase",
+    "RemoteStoreBatch",
+    "WorkloadTrace",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,86 @@
+"""Event-level trace vocabulary.
+
+These are the fine-grained events an instrumented GPU binary would
+produce (the role NVBit traces play in the paper): kernel boundaries,
+remote stores/loads/atomics, fences, and bulk copies.  The egress
+engines and the memory-model conformance tests consume this vocabulary;
+bulk workload traces use the array-based phase containers in
+``repro.trace.stream`` instead for efficiency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..gpu.consistency import Scope
+
+
+class EventKind(enum.Enum):
+    KERNEL_BEGIN = "kernel_begin"
+    KERNEL_END = "kernel_end"
+    STORE = "store"
+    LOAD = "load"
+    ATOMIC = "atomic"
+    FENCE = "fence"
+    MEMCPY_PEER = "memcpy_peer"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base fields common to all trace events."""
+
+    kind: EventKind
+    gpu: int
+    time: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class StoreEvent(TraceEvent):
+    """A (possibly remote) store transaction leaving the L1."""
+
+    addr: int = 0
+    size: int = 0
+    dst: int = -1  #: destination GPU; -1 for local
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"store size must be positive, got {self.size}")
+
+
+@dataclass(frozen=True, slots=True)
+class LoadEvent(TraceEvent):
+    addr: int = 0
+    size: int = 0
+    dst: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicEvent(TraceEvent):
+    addr: int = 0
+    size: int = 0
+    dst: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class FenceEvent(TraceEvent):
+    scope: Scope = Scope.SYSTEM
+
+
+@dataclass(frozen=True, slots=True)
+class MemcpyPeerEvent(TraceEvent):
+    dst: int = -1
+    src_addr: int = 0
+    dst_addr: int = 0
+    nbytes: int = 0
+
+
+def store(gpu: int, addr: int, size: int, dst: int, time: float = 0.0) -> StoreEvent:
+    """Convenience constructor for a remote store event."""
+    return StoreEvent(
+        kind=EventKind.STORE, gpu=gpu, time=time, addr=addr, size=size, dst=dst
+    )
+
+
+def fence(gpu: int, scope: Scope = Scope.SYSTEM, time: float = 0.0) -> FenceEvent:
+    return FenceEvent(kind=EventKind.FENCE, gpu=gpu, time=time, scope=scope)

@@ -1,0 +1,134 @@
+"""Vectorized byte-interval algebra.
+
+Byte accounting (paper Fig. 10) needs set operations over address
+ranges: the union of all bytes a GPU stored remotely, its intersection
+with what the consumer read, differences for over-transfer, and so on.
+An :class:`IntervalSet` is a normalized (sorted, disjoint, non-adjacent)
+set of half-open ``[start, start+length)`` byte ranges backed by numpy
+arrays, with union/intersection/difference in O(n log n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_arrays(starts, lengths) -> tuple[np.ndarray, np.ndarray]:
+    s = np.asarray(starts, dtype=np.int64).ravel()
+    l = np.asarray(lengths, dtype=np.int64).ravel()
+    if s.shape != l.shape:
+        raise ValueError("starts and lengths must have equal shapes")
+    if (l < 0).any():
+        raise ValueError("interval lengths must be non-negative")
+    keep = l > 0
+    return s[keep], l[keep]
+
+
+@dataclass(frozen=True)
+class IntervalSet:
+    """A normalized set of half-open byte intervals."""
+
+    starts: np.ndarray
+    ends: np.ndarray
+
+    @staticmethod
+    def from_ranges(starts, lengths) -> "IntervalSet":
+        """Build from possibly-overlapping, unordered ranges."""
+        s, l = _as_arrays(starts, lengths)
+        if s.size == 0:
+            return IntervalSet.empty()
+        order = np.argsort(s, kind="stable")
+        s, e = s[order], (s + l)[order]
+        running = np.maximum.accumulate(e)
+        new_run = np.empty(s.size, dtype=bool)
+        new_run[0] = True
+        # Strictly-greater keeps adjacent ranges merged ([0,4)+[4,8) -> [0,8)).
+        np.greater(s[1:], running[:-1], out=new_run[1:])
+        run_id = np.cumsum(new_run) - 1
+        out_starts = s[new_run]
+        out_ends = np.zeros(out_starts.size, dtype=np.int64)
+        np.maximum.at(out_ends, run_id, e)
+        return IntervalSet(out_starts, out_ends)
+
+    @staticmethod
+    def empty() -> "IntervalSet":
+        z = np.empty(0, dtype=np.int64)
+        return IntervalSet(z, z.copy())
+
+    @property
+    def total_bytes(self) -> int:
+        return int((self.ends - self.starts).sum())
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    def __bool__(self) -> bool:
+        return self.starts.size > 0
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        starts = np.concatenate([self.starts, other.starts])
+        lengths = np.concatenate(
+            [self.ends - self.starts, other.ends - other.starts]
+        )
+        return IntervalSet.from_ranges(starts, lengths)
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        if not self or not other:
+            return IntervalSet.empty()
+        # For each interval in self, find overlapping intervals in other
+        # via searchsorted on the normalized arrays.
+        lo = np.searchsorted(other.ends, self.starts, side="right")
+        hi = np.searchsorted(other.starts, self.ends, side="left")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return IntervalSet.empty()
+        self_idx = np.repeat(np.arange(self.starts.size), counts)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        within = np.arange(total) - offsets[self_idx]
+        other_idx = lo[self_idx] + within
+        s = np.maximum(self.starts[self_idx], other.starts[other_idx])
+        e = np.minimum(self.ends[self_idx], other.ends[other_idx])
+        return IntervalSet.from_ranges(s, e - s)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Bytes in self but not in other."""
+        overlap = self.intersect(other)
+        if not overlap:
+            return self
+        # Sweep: subtract overlap (a subset of self) interval by interval.
+        out_s: list[int] = []
+        out_e: list[int] = []
+        oi = 0
+        os_, oe_ = overlap.starts, overlap.ends
+        for s, e in zip(self.starts.tolist(), self.ends.tolist()):
+            cur = s
+            while oi < os_.size and os_[oi] < e:
+                if oe_[oi] <= cur:
+                    oi += 1
+                    continue
+                if os_[oi] > cur:
+                    out_s.append(cur)
+                    out_e.append(int(os_[oi]))
+                cur = int(oe_[oi])
+                if cur >= e:
+                    break
+                oi += 1
+            if cur < e:
+                out_s.append(cur)
+                out_e.append(e)
+            # An overlap interval can span into the next self interval
+            # only if self intervals are adjacent, which normalization
+            # forbids, so advancing oi greedily is safe.
+        return IntervalSet(
+            np.asarray(out_s, dtype=np.int64), np.asarray(out_e, dtype=np.int64)
+        )
+
+    def contains(self, addr: int) -> bool:
+        i = int(np.searchsorted(self.starts, addr, side="right")) - 1
+        return i >= 0 and addr < self.ends[i]
+
+    def shift(self, delta: int) -> "IntervalSet":
+        return IntervalSet(self.starts + delta, self.ends + delta)

@@ -1,0 +1,113 @@
+"""Trace serialization.
+
+Workload trace generation (running the real algorithm) dominates
+experiment wall time, so traces can be captured once and replayed under
+every paradigm/configuration.  The format is a single ``.npz`` archive:
+flat numpy arrays keyed by iteration/GPU, plus a JSON metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..gpu.compute import KernelWork
+from .intervals import IntervalSet
+from .stream import (
+    DMATransfer,
+    IterationTrace,
+    KernelPhase,
+    RemoteStoreBatch,
+    WorkloadTrace,
+)
+
+_FORMAT_VERSION = 2
+
+
+def save_trace(trace: WorkloadTrace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as a compressed npz archive."""
+    arrays: dict[str, np.ndarray] = {}
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "n_gpus": trace.n_gpus,
+        "n_iterations": trace.n_iterations,
+        "metadata": trace.metadata,
+        "phases": [],
+    }
+    for i, it in enumerate(trace.iterations):
+        for p in it.phases:
+            key = f"it{i}_gpu{p.gpu}"
+            arrays[f"{key}_addrs"] = p.stores.addrs
+            arrays[f"{key}_sizes"] = p.stores.sizes
+            arrays[f"{key}_dsts"] = p.stores.dsts
+            arrays[f"{key}_aaddrs"] = p.atomics.addrs
+            arrays[f"{key}_asizes"] = p.atomics.sizes
+            arrays[f"{key}_adsts"] = p.atomics.dsts
+            arrays[f"{key}_rstarts"] = p.reads.starts
+            arrays[f"{key}_rends"] = p.reads.ends
+            header["phases"].append(
+                {
+                    "key": key,
+                    "iteration": i,
+                    "gpu": p.gpu,
+                    "flops": p.work.flops,
+                    "dram_bytes": p.work.dram_bytes,
+                    "precision": p.work.precision,
+                    "dma": [
+                        [t.dst, t.dst_addr, t.nbytes, t.aggregated] for t in p.dma
+                    ],
+                }
+            )
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_trace(path: str | Path) -> WorkloadTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        if header["version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header['version']}"
+            )
+        phases_by_iter: dict[int, list[KernelPhase]] = {}
+        for ph in header["phases"]:
+            key = ph["key"]
+            stores = RemoteStoreBatch(
+                data[f"{key}_addrs"], data[f"{key}_sizes"], data[f"{key}_dsts"]
+            )
+            atomics = RemoteStoreBatch(
+                data[f"{key}_aaddrs"], data[f"{key}_asizes"], data[f"{key}_adsts"]
+            )
+            reads = IntervalSet(
+                data[f"{key}_rstarts"].astype(np.int64),
+                data[f"{key}_rends"].astype(np.int64),
+            )
+            phase = KernelPhase(
+                gpu=ph["gpu"],
+                work=KernelWork(
+                    flops=ph["flops"],
+                    dram_bytes=ph["dram_bytes"],
+                    precision=ph["precision"],
+                ),
+                stores=stores,
+                atomics=atomics,
+                reads=reads,
+                dma=[DMATransfer(*t) for t in ph["dma"]],
+            )
+            phases_by_iter.setdefault(ph["iteration"], []).append(phase)
+    iterations = [
+        IterationTrace(sorted(phases_by_iter[i], key=lambda p: p.gpu))
+        for i in sorted(phases_by_iter)
+    ]
+    return WorkloadTrace(
+        name=header["name"],
+        n_gpus=header["n_gpus"],
+        iterations=iterations,
+        metadata=header["metadata"],
+    )

@@ -1,0 +1,175 @@
+"""ALS: alternating least squares matrix factorization (paper Sec. V).
+
+Factorizes an rgg-like rating matrix into rank-``k`` user and item
+factors.  ALS alternates two sub-iterations (paper Sec. V): fix the
+item factors and re-solve every user factor, then fix the users and
+re-solve every item factor.  The trace models each sub-iteration as one
+bulk-synchronous phase: the owning GPU solves its factors and pushes
+each updated factor vector (``k`` fp32 values) to *all* peer replicas
+-- the programmer cannot cheaply know which peers' solves will touch a
+given factor, so the P2P port broadcasts (the paper's all-to-all
+pattern).  Consumers actually read only the factors referenced by their
+local ratings, which gives the GPS comparison its subscription savings
+and FinePack a non-zero "wasted bytes" wedge (paper Figs. 9/10).
+
+Factors are solved in load-balanced order (owned rows sorted by rating
+count), so the push stream is a 32-byte scatter -- the mid-granularity
+point of the paper's Figure 2 efficiency curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.compute import KernelWork
+from ..gpu.memory import MemorySpace
+from ..trace.intervals import IntervalSet
+from ..trace.stream import (
+    DMATransfer,
+    IterationTrace,
+    KernelPhase,
+    RemoteStoreBatch,
+    WorkloadTrace,
+)
+from .base import MultiGPUWorkload, element_intervals, push_elements
+from .datasets import bipartite_ratings, owner_of_vertex, partition_bounds
+
+
+class ALSWorkload(MultiGPUWorkload):
+    """Alternating least squares on an rgg-like rating matrix."""
+
+    name = "als"
+    comm_pattern = "all-to-all"
+
+    def __init__(
+        self,
+        n_users: int = 16_000,
+        n_items: int = 4_000,
+        rank: int = 8,
+        avg_ratings: int = 45,
+    ) -> None:
+        if rank <= 0:
+            raise ValueError(f"rank must be positive, got {rank}")
+        self.n_users = n_users
+        self.n_items = n_items
+        self.rank = rank
+        self.avg_ratings = avg_ratings
+
+    @property
+    def factor_bytes(self) -> int:
+        return self.rank * 4  # fp32 factors
+
+    def generate_trace(
+        self, n_gpus: int, iterations: int = 3, seed: int = 7
+    ) -> WorkloadTrace:
+        ratings = bipartite_ratings(
+            self.n_users, self.n_items, self.avg_ratings, seed
+        )
+        ubounds = partition_bounds(self.n_users, n_gpus)
+        ibounds = partition_bounds(self.n_items, n_gpus)
+        memory = MemorySpace(n_gpus)
+        ufac = memory.alloc_replicated("als.user", self.n_users * self.factor_bytes)
+        ifac = memory.alloc_replicated("als.item", self.n_items * self.factor_bytes)
+
+        k = self.rank
+        fb = self.factor_bytes
+        item_owner_of_rating = owner_of_vertex(
+            np.repeat(np.arange(self.n_items), np.diff(ratings.item_indptr)),
+            ibounds,
+        )
+        user_owner_of_rating = owner_of_vertex(
+            np.repeat(np.arange(self.n_users), np.diff(ratings.user_indptr)),
+            ubounds,
+        )
+        users_needed_by = {
+            g: np.unique(ratings.user_ids[item_owner_of_rating == g])
+            for g in range(n_gpus)
+        }
+        items_needed_by = {
+            g: np.unique(ratings.item_ids[user_owner_of_rating == g])
+            for g in range(n_gpus)
+        }
+
+        tie_break = np.random.default_rng(seed + 17)
+
+        def sub_iteration(user_phase: bool) -> IterationTrace:
+            """One ALS half-step: solve users (or items), broadcast."""
+            if user_phase:
+                bounds, buf = ubounds, ufac
+                ratings_of = user_owner_of_rating
+                indptr = ratings.user_indptr
+            else:
+                bounds, buf = ibounds, ifac
+                ratings_of = item_owner_of_rating
+                indptr = ratings.item_indptr
+            phases = []
+            for g in range(n_gpus):
+                lo, hi = int(bounds[g]), int(bounds[g + 1])
+                owned = hi - lo
+                n_ratings = int((ratings_of == g).sum())
+                work = KernelWork(
+                    # Normal-equation assembly (k^2 per rating) plus the
+                    # k x k solve per factor.
+                    flops=n_ratings * k * k + owned * (k**3) / 3.0,
+                    # Popular counterpart factors are cache-hot; the
+                    # DRAM stream is ids+values per rating plus the
+                    # owned factor read-modify-write.
+                    dram_bytes=n_ratings * 12.0 + owned * 2.0 * fb,
+                    precision="fp32",
+                )
+                ids = np.arange(lo, hi, dtype=np.int64)
+                # Load-balanced solve order: by descending rating count,
+                # equal-cost rows in arbitrary (scheduler) order -- so
+                # the push stream is a scatter, not an ascending sweep.
+                ids = tie_break.permutation(ids)
+                costs = np.diff(indptr)[ids]
+                ids = ids[np.argsort(-costs, kind="stable")]
+                batches = []
+                dma = []
+                for d in range(n_gpus):
+                    if d == g:
+                        continue
+                    batches.append(push_elements(ids, fb, d, buf.replicas[d]))
+                    dma.append(
+                        DMATransfer(
+                            dst=d,
+                            dst_addr=buf.replicas[d] + lo * fb,
+                            nbytes=owned * fb,
+                        )
+                    )
+                # During this phase the GPU reads the counterpart
+                # factors its ratings reference (pushed last phase).
+                if user_phase:
+                    reads = element_intervals(
+                        items_needed_by[g], fb, ifac.replicas[g]
+                    )
+                else:
+                    reads = element_intervals(
+                        users_needed_by[g], fb, ufac.replicas[g]
+                    )
+                phases.append(
+                    KernelPhase(
+                        gpu=g,
+                        work=work,
+                        stores=RemoteStoreBatch.concat(batches),
+                        reads=reads,
+                        dma=dma,
+                    )
+                )
+            return IterationTrace(phases)
+
+        user_iter = sub_iteration(user_phase=True)
+        item_iter = sub_iteration(user_phase=False)
+        seq = [user_iter if i % 2 == 0 else item_iter for i in range(iterations)]
+        return WorkloadTrace(
+            name=self.name,
+            n_gpus=n_gpus,
+            iterations=seq,
+            metadata={
+                "n_users": self.n_users,
+                "n_items": self.n_items,
+                "rank": self.rank,
+                "nnz": ratings.nnz,
+                "comm_pattern": self.comm_pattern,
+            },
+        )

@@ -1,0 +1,103 @@
+"""Workload framework: base class and trace-building helpers.
+
+A workload runs its real algorithm partitioned over N virtual GPUs and
+records what each GPU's kernels would do: compute work, remote stores
+(at warp/L1-coalesced transaction granularity), consumer read sets, and
+the bulk-copy plan of a memcpy-paradigm port.  The same object produces
+the 1-GPU baseline trace (no remote traffic, full problem per kernel).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..gpu.coalescer import coalesce_stream
+from ..gpu.memory import MemorySpace, ReplicatedBuffer
+from ..trace.intervals import IntervalSet
+from ..trace.stream import RemoteStoreBatch, WorkloadTrace
+
+
+class MultiGPUWorkload(abc.ABC):
+    """Base class for the eight applications of paper Sec. V."""
+
+    #: Short identifier used in reports ("jacobi", "sssp", ...).
+    name: str = "abstract"
+    #: The paper's characterization of the communication pattern.
+    comm_pattern: str = "unknown"
+
+    @abc.abstractmethod
+    def generate_trace(
+        self, n_gpus: int, iterations: int = 3, seed: int = 7
+    ) -> WorkloadTrace:
+        """Execute the workload and return its trace."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} pattern={self.comm_pattern!r}>"
+
+
+def push_elements(
+    element_ids: np.ndarray,
+    elem_bytes: int,
+    dst_gpu: int,
+    dst_base: int,
+    warp_size: int = 32,
+) -> RemoteStoreBatch:
+    """Build the store batch for pushing elements into a peer replica.
+
+    ``element_ids`` are indices into the destination buffer, in the
+    order the kernel's threads emit them (one element per thread).  The
+    thread-level stream is passed through the warp/L1 coalescer, so
+    adjacent element ids merge into wider transactions exactly as the
+    hardware would merge them.
+    """
+    element_ids = np.asarray(element_ids, dtype=np.int64)
+    if element_ids.size == 0:
+        return RemoteStoreBatch.empty()
+    addrs = dst_base + element_ids * elem_bytes
+    sizes = np.full(element_ids.size, elem_bytes, dtype=np.int64)
+    tx_addrs, tx_sizes, _ = coalesce_stream(addrs, sizes, warp_size=warp_size)
+    dsts = np.full(tx_addrs.size, dst_gpu, dtype=np.int64)
+    return RemoteStoreBatch(tx_addrs, tx_sizes, dsts)
+
+
+def interleave(element_ids: np.ndarray, ways: int = 32) -> np.ndarray:
+    """Reorder a push stream as ``ways`` round-robin CTA streams.
+
+    GPU thread blocks are scheduled dynamically, so the global store
+    order interleaves many CTAs' streams: elements that are adjacent in
+    index space end up far apart in *issue* order.  This is what keeps
+    irregular pushes at their natural 4-8 B granularity instead of
+    artificially merging in the L1 because a trace was generated in
+    sorted order.
+    """
+    element_ids = np.asarray(element_ids, dtype=np.int64)
+    if ways <= 1 or element_ids.size <= ways:
+        return element_ids
+    pad = (-element_ids.size) % ways
+    padded = np.concatenate([element_ids, np.full(pad, -1, dtype=np.int64)])
+    out = padded.reshape(-1, ways).T.ravel()
+    return out[out >= 0]
+
+
+def element_intervals(
+    element_ids: np.ndarray, elem_bytes: int, base: int
+) -> IntervalSet:
+    """Byte intervals covering the given elements of a buffer."""
+    element_ids = np.asarray(element_ids, dtype=np.int64)
+    if element_ids.size == 0:
+        return IntervalSet.empty()
+    starts = base + element_ids * elem_bytes
+    return IntervalSet.from_ranges(starts, np.full(element_ids.size, elem_bytes))
+
+
+def contiguous_interval(base: int, nbytes: int) -> IntervalSet:
+    return IntervalSet.from_ranges([base], [nbytes])
+
+
+def replicate(
+    memory: MemorySpace, name: str, nbytes: int
+) -> ReplicatedBuffer:
+    """Allocate one replica of a buffer on every GPU."""
+    return memory.alloc_replicated(name, nbytes)

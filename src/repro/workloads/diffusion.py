@@ -1,0 +1,41 @@
+"""Diffusion: heat equation / inviscid Burgers solver (Tartan suite).
+
+A 3-D 7-point stencil advanced explicitly in time; each GPU owns a slab
+of the volume and exchanges one halo plane with each neighbour per step
+(paper Sec. V: peer-to-peer, MPI communication replaced by the studied
+paradigms).  Like Jacobi, the halo planes are contiguous, so this is
+the paper's second "regular" application.
+"""
+
+from __future__ import annotations
+
+from ..trace.stream import WorkloadTrace
+from .base import MultiGPUWorkload
+from .grids import StencilSpec, build_stencil_trace
+
+
+class DiffusionWorkload(MultiGPUWorkload):
+    """3-D heat/Burgers stencil over an ``n^3`` fp64 volume."""
+
+    name = "diffusion"
+    comm_pattern = "peer-to-peer"
+
+    def __init__(self, n: int = 144) -> None:
+        if n < 8:
+            raise ValueError(f"volume too small: {n}")
+        self.n = n
+
+    def generate_trace(
+        self, n_gpus: int, iterations: int = 3, seed: int = 7
+    ) -> WorkloadTrace:
+        spec = StencilSpec(
+            name=self.name,
+            grid=(self.n, self.n, self.n),
+            elem_bytes=8,
+            halo_depth=1,
+            # 7-point Laplacian + advection terms.
+            flops_per_point=11.0,
+            dram_bytes_per_point=16.0,
+            precision="fp64",
+        )
+        return build_stencil_trace(spec, n_gpus, iterations)

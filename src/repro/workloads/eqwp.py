@@ -1,0 +1,43 @@
+"""EQWP: 3-D earthquake wave propagation (Tartan suite).
+
+A 4th-order finite-difference seismic wave model: the wider stencil
+needs a two-plane halo per side, doubling the per-iteration exchange
+volume relative to the 2nd-order stencils.  Partitioning and
+communication follow the same slab/halo pattern as Diffusion (paper
+Sec. V: peer-to-peer halo exchange, originally via MPI).
+"""
+
+from __future__ import annotations
+
+from ..trace.stream import WorkloadTrace
+from .base import MultiGPUWorkload
+from .grids import StencilSpec, build_stencil_trace
+
+
+class EQWPWorkload(MultiGPUWorkload):
+    """4th-order 3-D wave-propagation stencil over an ``n^3`` volume."""
+
+    name = "eqwp"
+    comm_pattern = "peer-to-peer"
+
+    def __init__(self, n: int = 160) -> None:
+        if n < 16:
+            raise ValueError(f"volume too small: {n}")
+        self.n = n
+
+    def generate_trace(
+        self, n_gpus: int, iterations: int = 3, seed: int = 7
+    ) -> WorkloadTrace:
+        spec = StencilSpec(
+            name=self.name,
+            grid=(self.n, self.n, self.n),
+            elem_bytes=4,
+            halo_depth=2,
+            # 4th-order stencil in 3 dimensions: 13-point star plus the
+            # velocity/stress update terms.
+            flops_per_point=34.0,
+            # Pressure + velocity fields, fp32: ~5 streams per point.
+            dram_bytes_per_point=20.0,
+            precision="fp32",
+        )
+        return build_stencil_trace(spec, n_gpus, iterations)

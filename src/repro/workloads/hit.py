@@ -1,0 +1,140 @@
+"""HIT: homogeneous isotropic turbulence via 3-D FFTs (Tartan suite).
+
+The spectral solver partitions the ``n^3`` volume in slabs along X and
+computes FFTs as a series of 1-D transforms separated by *transposes*:
+each GPU must send the sub-block destined for every other GPU --
+an all-to-all exchange of contiguous tiles (paper Sec. V).
+
+Because transpose tiles are contiguous, P2P stores coalesce to full
+cache lines; HIT's pain point is raw exchange *volume*: the transpose
+moves ``(G-1)/G`` of the whole volume every step, which the memcpy
+paradigm cannot overlap with the FFT compute.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..gpu.compute import KernelWork
+from ..gpu.memory import MemorySpace
+from ..trace.intervals import IntervalSet
+from ..trace.stream import (
+    DMATransfer,
+    IterationTrace,
+    KernelPhase,
+    RemoteStoreBatch,
+    WorkloadTrace,
+)
+from .base import MultiGPUWorkload, push_elements
+from .datasets import partition_bounds
+
+
+class HITWorkload(MultiGPUWorkload):
+    """Slab-decomposed 3-D FFT with all-to-all transposes."""
+
+    name = "hit"
+    comm_pattern = "all-to-all"
+
+    def __init__(self, n: int = 96, dram_passes: int = 8) -> None:
+        if n < 8:
+            raise ValueError(f"volume too small: {n}")
+        self.n = n
+        self.dram_passes = dram_passes
+
+    def generate_trace(
+        self, n_gpus: int, iterations: int = 3, seed: int = 7
+    ) -> WorkloadTrace:
+        n = self.n
+        total = n**3
+        memory = MemorySpace(n_gpus)
+        # Complex fp32 field: 8 bytes per point.
+        field = memory.alloc_replicated("hit.spectral", total * 8)
+        bounds = partition_bounds(n, n_gpus)
+        # Pack-and-send staging buffers for the memcpy port: the
+        # transpose tile for one peer is strided in memory, so the
+        # realistic port packs it into a contiguous buffer and issues a
+        # single copy per peer (one MPI_Alltoall-style exchange).
+        max_tile = (int(bounds[1]) * n) * (int(bounds[1])) * 8 * 4
+        staging = {
+            (g, d): memory.alloc_local(f"hit.stage.{g}->{d}", max_tile, gpu=d)
+            for g in range(n_gpus)
+            for d in range(n_gpus)
+            if d != g
+        }
+
+        phases: list[KernelPhase] = []
+        for g in range(n_gpus):
+            my_planes = int(bounds[g + 1] - bounds[g])
+            points = my_planes * n * n
+            # FFT work: 5 N log2 N over owned points, plus the
+            # transpose/update memory passes.
+            work = KernelWork(
+                flops=5.0 * points * math.log2(max(n, 2)) * 3,
+                dram_bytes=points * 8.0 * self.dram_passes,
+                precision="fp32",
+            )
+            batches = []
+            dma = []
+            reads = IntervalSet.empty()
+            for d in range(n_gpus):
+                if d == g:
+                    continue
+                # Transpose tile: for each of my planes, the row range
+                # owned by d -- contiguous runs of (bounds[d+1]-bounds[d])
+                # * n points within each plane.
+                d_rows = int(bounds[d + 1] - bounds[d])
+                tile_elems = []
+                for plane in range(int(bounds[g]), int(bounds[g + 1])):
+                    start = plane * n * n + int(bounds[d]) * n
+                    tile_elems.append(
+                        np.arange(start, start + d_rows * n, dtype=np.int64)
+                    )
+                elems = np.concatenate(tile_elems)
+                batches.append(push_elements(elems, 8, d, field.replicas[d]))
+                # The memcpy port packs the strided tile and ships it as
+                # one aggregated copy into the peer's staging buffer.
+                dma.append(
+                    DMATransfer(
+                        dst=d,
+                        dst_addr=staging[(g, d)],
+                        nbytes=int(elems.size) * 8,
+                        aggregated=True,
+                    )
+                )
+            # After the exchange this GPU reads every tile pushed into
+            # its replica: the rows it owns across all remote planes.
+            read_starts = []
+            read_lens = []
+            my_rows = my_planes  # symmetric partition of rows
+            for plane in range(n):
+                if int(bounds[g]) <= plane < int(bounds[g + 1]):
+                    continue
+                start = plane * n * n + int(bounds[g]) * n
+                read_starts.append(field.replicas[g] + start * 8)
+                read_lens.append(my_rows * n * 8)
+            # Staged tiles arriving from peers are unpacked (read) too.
+            for (src, dst), addr in staging.items():
+                if dst == g:
+                    read_starts.append(addr)
+                    read_lens.append(max_tile)
+            if read_starts:
+                reads = IntervalSet.from_ranges(read_starts, read_lens)
+            phases.append(
+                KernelPhase(
+                    gpu=g,
+                    work=work,
+                    stores=RemoteStoreBatch.concat(batches),
+                    reads=reads,
+                    dma=dma,
+                )
+            )
+
+        iteration = IterationTrace(phases)
+        return WorkloadTrace(
+            name=self.name,
+            n_gpus=n_gpus,
+            iterations=[iteration] * iterations,
+            metadata={"n": n, "comm_pattern": self.comm_pattern},
+        )

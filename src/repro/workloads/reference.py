@@ -1,0 +1,137 @@
+"""Numeric reference implementations of the workload algorithms.
+
+The trace generators model *communication*; these functions run the
+same algorithms *numerically*, so tests can validate them against
+independent implementations (networkx, scipy) and convergence
+properties.  They share the dataset generators with the trace layer,
+anchoring the traces to genuinely executable algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .datasets import Graph, RatingMatrix
+
+
+def pagerank(graph: Graph, damping: float = 0.85, iterations: int = 50) -> np.ndarray:
+    """Power-iteration PageRank; returns the rank vector (sums to ~1)."""
+    n = graph.n
+    x = np.full(n, 1.0 / n)
+    out_deg = graph.out_degree()
+    src = np.repeat(np.arange(n), out_deg)
+    safe_deg = np.maximum(out_deg, 1)
+    for _ in range(iterations):
+        contrib = x[src] / safe_deg[src]
+        y = np.zeros(n)
+        np.add.at(y, graph.dst, contrib)
+        # Dangling mass is redistributed uniformly.
+        dangling = x[out_deg == 0].sum()
+        x = damping * (y + dangling / n) + (1 - damping) / n
+    return x
+
+
+def bellman_ford(
+    graph: Graph, weights: np.ndarray, source: int = 0, max_rounds: int | None = None
+) -> np.ndarray:
+    """Synchronous Bellman-Ford; returns int64 distances (INF = unreached)."""
+    if weights.shape != (graph.nnz,):
+        raise ValueError("one weight per edge required")
+    inf = np.iinfo(np.int64).max // 4
+    dist = np.full(graph.n, inf, dtype=np.int64)
+    dist[source] = 0
+    src = np.repeat(np.arange(graph.n), graph.out_degree())
+    rounds = max_rounds if max_rounds is not None else graph.n - 1
+    for _ in range(rounds):
+        candidate = dist[src] + weights
+        improving = candidate < dist[graph.dst]
+        if not improving.any():
+            break
+        np.minimum.at(dist, graph.dst[improving], candidate[improving])
+    return dist
+
+
+def jacobi_poisson_2d(
+    n: int, iterations: int, rng: np.random.Generator | None = None
+) -> tuple[np.ndarray, list[float]]:
+    """Jacobi sweeps on a 2-D Poisson problem (the workload's stencil).
+
+    Returns the final field and the residual-norm history, which must
+    decrease monotonically for a diagonally dominant system.
+    """
+    rng = rng or np.random.default_rng(0)
+    f = rng.standard_normal((n, n))
+    u = np.zeros((n, n))
+    residuals: list[float] = []
+    for _ in range(iterations):
+        interior = (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+        )
+        new_u = u.copy()
+        new_u[1:-1, 1:-1] = (interior - f[1:-1, 1:-1]) / 4.0
+        lap = (
+            new_u[:-2, 1:-1]
+            + new_u[2:, 1:-1]
+            + new_u[1:-1, :-2]
+            + new_u[1:-1, 2:]
+            - 4 * new_u[1:-1, 1:-1]
+        )
+        residuals.append(float(np.linalg.norm(lap - f[1:-1, 1:-1])))
+        u = new_u
+    return u, residuals
+
+
+def als_factorize(
+    ratings: RatingMatrix,
+    values: np.ndarray,
+    rank: int = 8,
+    iterations: int = 5,
+    reg: float = 0.1,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, list[float]]:
+    """Alternating least squares; returns (U, V, rmse history)."""
+    if values.shape != (ratings.nnz,):
+        raise ValueError("one value per rating required")
+    rng = rng or np.random.default_rng(0)
+    U = rng.standard_normal((ratings.n_users, rank)) * 0.1
+    V = rng.standard_normal((ratings.n_items, rank)) * 0.1
+    users = np.repeat(np.arange(ratings.n_users), np.diff(ratings.user_indptr))
+    items_by_user = ratings.item_ids
+    vals_by_user = values
+    # CSC view for the item solves.
+    order = np.lexsort((users, items_by_user))
+    items_sorted = items_by_user[order]
+    users_sorted = users[order]
+    vals_sorted = values[order]
+    eye = reg * np.eye(rank)
+
+    def solve_side(fix, n_rows, row_of, col_of, vals):
+        out = np.zeros((n_rows, rank))
+        start = 0
+        while start < row_of.size:
+            end = start
+            r = row_of[start]
+            while end < row_of.size and row_of[end] == r:
+                end += 1
+            F = fix[col_of[start:end]]
+            A = F.T @ F + eye
+            b = F.T @ vals[start:end]
+            out[r] = np.linalg.solve(A, b)
+            start = end
+        return out
+
+    history: list[float] = []
+    for _ in range(iterations):
+        U = solve_side(V, ratings.n_users, users, items_by_user, vals_by_user)
+        V = solve_side(U, ratings.n_items, items_sorted, users_sorted, vals_sorted)
+        pred = np.einsum("ij,ij->i", U[users], V[items_by_user])
+        history.append(float(np.sqrt(np.mean((pred - values) ** 2))))
+    return U, V, history
+
+
+def spectral_roundtrip(n: int, rng: np.random.Generator | None = None) -> float:
+    """HIT's core operation: a 3-D FFT round trip; returns max abs error."""
+    rng = rng or np.random.default_rng(0)
+    field = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
+    back = np.fft.ifftn(np.fft.fftn(field))
+    return float(np.max(np.abs(back - field)))

@@ -1,0 +1,39 @@
+"""Goodput analysis tests (Figure 2 properties)."""
+
+import pytest
+
+from repro.analysis.goodput import FIG2_SIZES, efficiency_ratio, goodput_curve
+
+
+class TestGoodputCurve:
+    def test_covers_requested_sizes(self):
+        points = goodput_curve()
+        assert [p.size for p in points] == list(FIG2_SIZES)
+
+    def test_pcie_monotonic(self):
+        points = goodput_curve()
+        pcie = [p.pcie for p in points]
+        assert pcie == sorted(pcie)
+
+    def test_measured_flag(self):
+        points = goodput_curve()
+        assert all(p.measured == (p.size <= 128) for p in points)
+
+    def test_small_transfers_waste_half_or_more(self):
+        """Fig. 2: sub-32 B stores achieve <= ~50% goodput on PCIe."""
+        by_size = {p.size: p for p in goodput_curve()}
+        assert by_size[32].pcie <= 0.55
+        assert by_size[8].pcie <= 0.25
+
+    def test_bulk_approaches_unity(self):
+        by_size = {p.size: p for p in goodput_curve()}
+        assert by_size[16384].pcie > 0.98
+
+    def test_nvlink_spike_at_aligned_sector(self):
+        """The byte-enable flit makes NVLink goodput non-monotonic."""
+        by_size = {p.size: p for p in goodput_curve(sizes=(32, 40))}
+        assert by_size[32].nvlink > by_size[40].nvlink
+
+    def test_efficiency_ratio_paper_claim(self):
+        """32 B roughly half as efficient as 128 B (paper Sec. I)."""
+        assert efficiency_ratio(32, 128) == pytest.approx(1.6, abs=0.25)

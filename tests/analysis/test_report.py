@@ -1,0 +1,24 @@
+"""Report formatting and breakdown helper tests."""
+
+from repro.analysis.report import format_speedup_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["xx", 3.25]])
+        lines = text.splitlines()
+        assert lines[0] == "=== T ==="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in text and "3.250" in text
+
+    def test_empty_rows(self):
+        text = format_table("T", ["col"], [])
+        assert "col" in text
+
+    def test_speedup_matrix(self):
+        text = format_speedup_table(
+            "S", {"jacobi": {"p2p": 3.5, "dma": 2.8}, "sssp": {"p2p": 0.7}}
+        )
+        assert "jacobi" in text and "sssp" in text
+        assert "3.50" in text
+        assert "nan" in text  # missing paradigm renders as nan

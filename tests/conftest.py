@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FinePackConfig
+from repro.interconnect.pcie import PCIE_GEN4, PCIeProtocol
+
+
+@pytest.fixture
+def protocol() -> PCIeProtocol:
+    return PCIeProtocol(PCIE_GEN4)
+
+
+@pytest.fixture
+def config() -> FinePackConfig:
+    return FinePackConfig()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,56 @@
+"""Config-packet alternate design tests (paper Sec. VI-B)."""
+
+import pytest
+
+from repro.core.alt_designs import ConfigPacketDesign
+from repro.core.packet import FinePackPacket, SubTransaction
+
+
+@pytest.fixture
+def design(config, protocol):
+    return ConfigPacketDesign(config, protocol)
+
+
+def window_packet(n_stores: int, store_len: int = 8) -> FinePackPacket:
+    return FinePackPacket(
+        base_addr=0,
+        subs=[
+            SubTransaction(offset=i * 128, length=store_len)
+            for i in range(n_stores)
+        ],
+        stores_absorbed=n_stores,
+    )
+
+
+class TestConfigPacketDesign:
+    def test_config_packet_cost(self, design):
+        assert design.config_packet_bytes == 30  # full TLP minus DLLP share
+
+    def test_per_store_pays_own_crcs(self, design):
+        """Each slim packet still carries seq + LCRC + ECRC (the 10-byte
+        cost the paper quotes) plus framing and its slim header."""
+        overhead = design.per_store_overhead(8)
+        assert overhead >= 4 + 2 + 4 + 4 + design.config.subheader_bytes
+
+    def test_less_efficient_than_finepack_at_42_stores(self, design):
+        """Sec. VI-B: ~18% less efficient for a typical payload-full
+        FinePack packet (42 stores filling the 4 KB payload)."""
+        store_len = design.config.max_payload_bytes // 42 - design.config.subheader_bytes
+        packet = window_packet(42, store_len=store_len)
+        ratio = design.efficiency_vs_finepack(packet)
+        assert 1.08 <= ratio <= 1.30
+
+    def test_much_worse_for_tiny_stores(self, design):
+        """For 8 B scatters the per-store CRCs dominate completely."""
+        ratio = design.efficiency_vs_finepack(window_packet(42, store_len=8))
+        assert ratio > 1.8
+
+    def test_inefficiency_grows_with_store_count(self, design):
+        r8 = design.efficiency_vs_finepack(window_packet(8))
+        r64 = design.efficiency_vs_finepack(window_packet(64))
+        assert r64 >= r8
+
+    def test_wire_cost_components(self, design):
+        payload, overhead = design.wire_cost(window_packet(10))
+        assert payload == 80
+        assert overhead == design.config_packet_bytes + 10 * design.per_store_overhead(8)

@@ -1,0 +1,98 @@
+"""FinePack configuration tests (paper Tables II and III)."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_CONFIG,
+    LENGTH_FIELD_BITS,
+    FinePackConfig,
+    addressable_window,
+    offset_bits_for,
+)
+
+
+class TestTableII:
+    """The sub-header size <-> addressable range table."""
+
+    @pytest.mark.parametrize(
+        "subheader_bytes,offset_bits,window",
+        [
+            (2, 6, 64),
+            (3, 14, 16 * 1024),
+            (4, 22, 4 * 1024 * 1024),
+            (5, 30, 1024**3),
+            (6, 38, 256 * 1024**3),
+        ],
+    )
+    def test_rows(self, subheader_bytes, offset_bits, window):
+        assert offset_bits_for(subheader_bytes) == offset_bits
+        assert addressable_window(subheader_bytes) == window
+
+    def test_length_field_always_10_bits(self):
+        assert LENGTH_FIELD_BITS == 10
+
+    def test_one_byte_header_impossible(self):
+        with pytest.raises(ValueError):
+            offset_bits_for(1)
+
+
+class TestTableIIIDefaults:
+    """FinePack structure parameters from Table III."""
+
+    def test_defaults(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.subheader_bytes == 5
+        assert cfg.offset_bits == 30
+        assert cfg.max_payload_bytes == 4096
+        assert cfg.entry_bytes == 128
+
+    def test_192_entries_on_4_gpu_system(self):
+        """Table III: 192 remote-write-queue entries (3 partitions x 64)."""
+        cfg = DEFAULT_CONFIG
+        assert 3 * cfg.queue_entries_per_partition == 192
+
+    def test_16_gpu_sram_is_120kB(self):
+        """Sec. VI-B: 120 kB of queue data storage per GPU at 16 GPUs."""
+        assert DEFAULT_CONFIG.queue_sram_bytes(16) == 120 * 1024
+
+
+class TestValidation:
+    def test_subheader_bounds(self):
+        with pytest.raises(ValueError):
+            FinePackConfig(subheader_bytes=1)
+        with pytest.raises(ValueError):
+            FinePackConfig(subheader_bytes=9)
+
+    def test_positive_payload(self):
+        with pytest.raises(ValueError):
+            FinePackConfig(max_payload_bytes=0)
+
+    def test_entry_power_of_two(self):
+        with pytest.raises(ValueError):
+            FinePackConfig(entry_bytes=100)
+
+    def test_entry_must_fit_payload(self):
+        with pytest.raises(ValueError):
+            FinePackConfig(max_payload_bytes=64, entry_bytes=128)
+
+    def test_sram_needs_multiple_gpus(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.queue_sram_bytes(1)
+
+
+class TestWindowMath:
+    def test_window_base_masks_low_bits(self):
+        cfg = FinePackConfig(subheader_bytes=3)  # 16 KB window
+        assert cfg.window_base(0x12345) == 0x10000
+
+    def test_in_window(self):
+        cfg = FinePackConfig(subheader_bytes=3)
+        base = cfg.window_base(0x10000)
+        assert cfg.in_window(base, 0x13FFF)
+        assert not cfg.in_window(base, 0x14000)
+
+    def test_max_length_value(self):
+        assert DEFAULT_CONFIG.max_length_value == 1023
+
+    def test_partition_data_bytes(self):
+        assert DEFAULT_CONFIG.partition_data_bytes == 64 * 128

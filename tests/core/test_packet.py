@@ -1,0 +1,138 @@
+"""FinePack packet format tests (paper Table I / Figure 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FinePackConfig
+from repro.core.packet import FinePackPacket, SubTransaction
+from repro.interconnect.pcie import PCIE_GEN4, PCIeProtocol
+
+
+@pytest.fixture
+def proto():
+    return PCIeProtocol(PCIE_GEN4)
+
+
+class TestSubTransaction:
+    def test_header_roundtrip(self, config):
+        sub = SubTransaction(offset=0x12345, length=37)
+        raw = sub.encode_header(config)
+        assert len(raw) == config.subheader_bytes
+        length, offset = SubTransaction.decode_header(raw, config)
+        assert (length, offset) == (37, 0x12345)
+
+    def test_length_field_overflow(self, config):
+        with pytest.raises(ValueError):
+            SubTransaction(offset=0, length=1024).encode_header(config)
+
+    def test_offset_outside_window(self):
+        cfg = FinePackConfig(subheader_bytes=3)  # 16 KB window
+        with pytest.raises(ValueError):
+            SubTransaction(offset=16 * 1024, length=8).encode_header(cfg)
+
+    def test_data_length_must_match(self):
+        with pytest.raises(ValueError):
+            SubTransaction(offset=0, length=4, data=b"12345")
+
+    def test_non_positive_length(self):
+        with pytest.raises(ValueError):
+            SubTransaction(offset=0, length=0)
+
+    def test_wrong_header_size_decode(self, config):
+        with pytest.raises(ValueError):
+            SubTransaction.decode_header(b"\x00\x00", config)
+
+    def test_wire_bytes(self, config):
+        assert SubTransaction(offset=0, length=8).wire_bytes(config) == 13
+
+    @given(
+        offset=st.integers(0, 2**30 - 1),
+        length=st.integers(1, 1023),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_header_roundtrip_hypothesis(self, offset, length):
+        cfg = FinePackConfig()
+        raw = SubTransaction(offset=offset, length=length).encode_header(cfg)
+        assert SubTransaction.decode_header(raw, cfg) == (length, offset)
+
+
+class TestPacketEncoding:
+    def test_payload_roundtrip_with_data(self, config):
+        packet = FinePackPacket(
+            base_addr=1 << 34,
+            subs=[
+                SubTransaction(offset=0, length=4, data=b"abcd"),
+                SubTransaction(offset=100, length=3, data=b"xyz"),
+            ],
+            stores_absorbed=5,
+        )
+        raw = packet.encode_payload(config)
+        assert len(raw) == packet.inner_payload_bytes(config)
+        decoded = FinePackPacket.decode_payload(1 << 34, raw, config)
+        assert decoded.stores() == [
+            ((1 << 34) + 0, 4, b"abcd"),
+            ((1 << 34) + 100, 3, b"xyz"),
+        ]
+
+    def test_decode_truncated_header(self, config):
+        with pytest.raises(ValueError, match="truncated"):
+            FinePackPacket.decode_payload(0, b"\x01\x02", config)
+
+    def test_decode_overrun_payload(self, config):
+        raw = SubTransaction(offset=0, length=100).encode_header(config) + b"short"
+        with pytest.raises(ValueError, match="overruns"):
+            FinePackPacket.decode_payload(0, raw, config)
+
+    def test_dataless_encoding_zero_fills(self, config):
+        packet = FinePackPacket(
+            base_addr=0, subs=[SubTransaction(offset=8, length=4)]
+        )
+        raw = packet.encode_payload(config)
+        decoded = FinePackPacket.decode_payload(0, raw, config)
+        assert decoded.subs[0].data == b"\x00" * 4
+
+
+class TestWireCost:
+    def test_accounting(self, config, proto):
+        """Payload counts only data; headers/padding are overhead."""
+        packet = FinePackPacket(
+            base_addr=0,
+            subs=[SubTransaction(offset=i * 64, length=8) for i in range(10)],
+        )
+        payload, overhead = packet.wire_cost(config, proto)
+        assert payload == 80
+        inner = 10 * (8 + config.subheader_bytes)  # 130
+        pad = -(-inner // 4) * 4 - inner  # 2
+        assert overhead == proto.per_tlp_overhead + 10 * config.subheader_bytes + pad
+
+    def test_better_than_individual_stores(self, config, proto):
+        """The whole point: one packed transaction beats N store TLPs."""
+        n = 40
+        packet = FinePackPacket(
+            base_addr=0,
+            subs=[SubTransaction(offset=i * 128, length=8) for i in range(n)],
+        )
+        fp_payload, fp_overhead = packet.wire_cost(config, proto)
+        single_payload, single_overhead = proto.store_wire_cost(8)
+        assert fp_payload + fp_overhead < n * (single_payload + single_overhead) / 2.5
+
+    def test_payload_limit_enforced(self, proto):
+        cfg = FinePackConfig(max_payload_bytes=256, entry_bytes=128)
+        packet = FinePackPacket(
+            base_addr=0,
+            subs=[SubTransaction(offset=i * 64, length=60) for i in range(8)],
+        )
+        with pytest.raises(ValueError, match="exceeds max"):
+            packet.wire_cost(cfg, proto)
+
+    def test_table1_outer_header_same_size_as_pcie(self, config, proto):
+        """Table I: FinePack reuses the TLP header, so the outer packet
+        overhead equals a plain memory write's per-TLP overhead."""
+        packet = FinePackPacket(
+            base_addr=0, subs=[SubTransaction(offset=0, length=4)]
+        )
+        _, overhead = packet.wire_cost(config, proto)
+        inner = 4 + config.subheader_bytes
+        pad = -(-inner // 4) * 4 - inner
+        assert overhead - config.subheader_bytes - pad == proto.per_tlp_overhead

@@ -1,0 +1,135 @@
+"""Failure-injection and fuzz tests: the decode path and queue must
+fail loudly (ValueError) on malformed input, never corrupt state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FinePackConfig
+from repro.core.depacketizer import Depacketizer
+from repro.core.packet import FinePackPacket
+from repro.core.remote_write_queue import FlushReason, QueuePartition
+
+BASE = 1 << 34
+
+
+class TestDecodeFuzz:
+    @given(raw=st.binary(min_size=0, max_size=512))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_never_crashes_unexpectedly(self, raw):
+        """Arbitrary wire bytes either parse or raise ValueError."""
+        config = FinePackConfig()
+        try:
+            packet = FinePackPacket.decode_payload(BASE, raw, config)
+        except ValueError:
+            return
+        # A successful parse must re-encode to the same byte count and
+        # stay within the payload limit arithmetic.
+        assert packet.inner_payload_bytes(config) == len(raw)
+
+    @given(raw=st.binary(min_size=1, max_size=256))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_reencode_roundtrip(self, raw):
+        config = FinePackConfig()
+        try:
+            packet = FinePackPacket.decode_payload(BASE, raw, config)
+        except ValueError:
+            return
+        assert packet.encode_payload(config) == raw
+
+    def test_depacketizer_rejects_garbage(self):
+        d = Depacketizer(FinePackConfig())
+        with pytest.raises(ValueError):
+            d.decode_wire_payload(BASE, b"\xff\xff\xff")
+
+
+class TestQueueRobustness:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, (1 << 20) - 200),
+                st.integers(1, 200),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_queue_never_overcommits(self, ops):
+        """Whatever the store stream (including line-crossing stores
+        and interleaved flushes), the payload register stays within
+        budget and flushed windows packetize within the max payload."""
+        config = FinePackConfig()
+        p = QueuePartition(config, dst=1)
+        windows = []
+        for addr, size, flush in ops:
+            windows.extend(p.insert(BASE + addr, size))
+            if flush:
+                w = p.flush(FlushReason.RELEASE)
+                if w:
+                    windows.append(w)
+            assert 0 <= p.available_payload <= config.max_payload_bytes
+        final = p.flush(FlushReason.RELEASE)
+        if final:
+            windows.append(final)
+        from repro.core.packetizer import Packetizer
+        from repro.interconnect.pcie import PCIeProtocol
+
+        packetizer = Packetizer(config, PCIeProtocol())
+        for w in windows:
+            packet = packetizer.packetize(w)
+            assert packet.inner_payload_bytes(config) <= config.max_payload_bytes
+            for sub in packet.subs:
+                assert 0 <= sub.offset < config.window_bytes
+                assert 1 <= sub.length <= config.max_length_value
+
+    def test_huge_store_split_across_many_lines(self):
+        p = QueuePartition(FinePackConfig(), dst=1)
+        p.insert(BASE + 100, 1000)
+        w = p.flush(FlushReason.RELEASE)
+        assert sum(e.enabled_bytes() for e in w.entries) == 1000
+
+
+class TestDataIntegrityFuzz:
+    @given(
+        stores=st.lists(
+            st.tuples(st.integers(0, 2000), st.integers(1, 64)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wire_roundtrip_preserves_final_bytes(self, stores):
+        """Random data-carrying stores -> queue -> wire -> decode keeps
+        last-writer-wins bytes, under a deliberately tiny queue."""
+        config = FinePackConfig(queue_entries_per_partition=4)
+        from repro.core.packetizer import Packetizer
+        from repro.interconnect.pcie import PCIeProtocol
+
+        p = QueuePartition(config, dst=1)
+        packetizer = Packetizer(config, PCIeProtocol())
+        image: dict[int, int] = {}
+        delivered: dict[int, int] = {}
+        rng = np.random.default_rng(0)
+
+        def apply(windows):
+            for w in windows:
+                packet = packetizer.packetize(w)
+                raw = packet.encode_payload(config)
+                decoded = FinePackPacket.decode_payload(
+                    packet.base_addr, raw, config
+                )
+                for addr, size, data in decoded.stores():
+                    for i in range(size):
+                        delivered[addr + i] = data[i]
+
+        for off, size in stores:
+            data = bytes(rng.integers(0, 256, size, dtype=np.uint8))
+            for i in range(size):
+                image[BASE + off + i] = data[i]
+            apply(p.insert(BASE + off, size, data))
+        final = p.flush(FlushReason.RELEASE)
+        apply([final] if final else [])
+        assert delivered == image

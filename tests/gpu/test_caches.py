@@ -1,0 +1,62 @@
+"""Cache model tests."""
+
+from repro.gpu.caches import L2Cache, SetAssociativeCache
+from repro.gpu.memory import gpu_base
+
+import pytest
+
+
+class TestSetAssociative:
+    def test_miss_then_hit(self):
+        c = SetAssociativeCache(capacity_bytes=16 * 128 * 4, ways=4)
+        assert not c.access(0)
+        assert c.access(0)
+
+    def test_same_line_different_bytes_hit(self):
+        c = SetAssociativeCache(capacity_bytes=16 * 128 * 4, ways=4)
+        c.access(256)
+        assert c.access(256 + 127)
+
+    def test_lru_eviction(self):
+        c = SetAssociativeCache(capacity_bytes=2 * 128, ways=2)  # 1 set
+        c.access(0 * 128)
+        c.access(1 * 128)
+        c.access(0 * 128)  # refresh line 0
+        c.access(2 * 128)  # evicts line 1 (LRU)
+        assert c.contains(0)
+        assert not c.contains(128)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity_bytes=1000, ways=3)
+
+    def test_stats(self):
+        c = SetAssociativeCache(capacity_bytes=4 * 128 * 2, ways=4)
+        c.access(0)
+        c.access(0)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+        assert c.stats.hit_rate == 0.5
+
+    def test_flush(self):
+        c = SetAssociativeCache(capacity_bytes=4 * 128 * 2, ways=4)
+        c.access(0)
+        c.flush()
+        assert not c.contains(0)
+
+
+class TestL2MemorySide:
+    def test_local_addresses_cached(self):
+        l2 = L2Cache(gpu=0, capacity_bytes=16 * 128 * 16)
+        addr = gpu_base(0) + 4096
+        assert not l2.access(addr)
+        assert l2.access(addr)
+
+    def test_remote_addresses_bypass(self):
+        """Paper Sec. III: remote stores are never L2-cached."""
+        l2 = L2Cache(gpu=0, capacity_bytes=16 * 128 * 16)
+        remote = gpu_base(1) + 4096
+        assert not l2.access(remote)
+        assert not l2.access(remote)
+        assert l2.stats.bypasses == 2
+        assert l2.stats.hits == 0

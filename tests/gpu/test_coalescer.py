@@ -1,0 +1,142 @@
+"""Warp/L1 store coalescing tests, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.coalescer import LINE_BYTES, coalesce_stream, size_histogram
+
+
+def coalesce(addrs, sizes, warp_size=32):
+    a, s, w = coalesce_stream(
+        np.asarray(addrs, dtype=np.int64),
+        np.asarray(sizes, dtype=np.int64),
+        warp_size=warp_size,
+    )
+    return list(zip(a.tolist(), s.tolist())), w.tolist()
+
+
+class TestBasicPatterns:
+    def test_contiguous_warp_full_line(self):
+        """32 threads x 4 B consecutive = one 128 B transaction."""
+        txns, _ = coalesce(np.arange(32) * 4, [4] * 32)
+        assert txns == [(0, 128)]
+
+    def test_contiguous_8B_two_lines(self):
+        """32 threads x 8 B = 256 B, split at the line boundary."""
+        txns, _ = coalesce(np.arange(32) * 8, [8] * 32)
+        assert txns == [(0, 128), (128, 128)]
+
+    def test_fully_scattered_no_merge(self):
+        addrs = np.arange(32) * 1024
+        txns, _ = coalesce(addrs, [8] * 32)
+        assert txns == [(a, 8) for a in addrs.tolist()]
+
+    def test_duplicate_addresses_merge(self):
+        txns, _ = coalesce([64, 64, 64, 64], [8, 8, 8, 8], warp_size=4)
+        assert txns == [(64, 8)]
+
+    def test_overlapping_ranges_merge(self):
+        txns, _ = coalesce([0, 4], [8, 8], warp_size=2)
+        assert txns == [(0, 12)]
+
+    def test_adjacent_ranges_merge(self):
+        txns, _ = coalesce([0, 8], [8, 8], warp_size=2)
+        assert txns == [(0, 16)]
+
+    def test_no_merge_across_warps(self):
+        """Same address in different warps stays separate."""
+        txns, warps = coalesce([0, 0], [8, 8], warp_size=1)
+        assert txns == [(0, 8), (0, 8)]
+        assert warps == [0, 1]
+
+    def test_store_crossing_line_boundary_splits(self):
+        txns, _ = coalesce([120], [16], warp_size=1)
+        assert txns == [(120, 8), (128, 8)]
+
+    def test_partial_trailing_warp(self):
+        txns, _ = coalesce([0, 8, 2048], [8, 8, 8], warp_size=32)
+        assert txns == [(0, 16), (2048, 8)]
+
+    def test_empty(self):
+        txns, _ = coalesce([], [])
+        assert txns == []
+
+
+class TestValidation:
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            coalesce_stream(np.zeros(3, np.int64), np.zeros(2, np.int64))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce(np.asarray([0]), np.asarray([0]))
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce(np.asarray([-8]), np.asarray([8]))
+
+
+class TestHistogram:
+    def test_buckets(self):
+        h = size_histogram(np.array([4, 8, 8, 32, 128]))
+        assert h["<=4B"] == pytest.approx(0.2)
+        assert h["<=8B"] == pytest.approx(0.4)
+        assert h["<=32B"] == pytest.approx(0.2)
+        assert h["<=128B"] == pytest.approx(0.2)
+
+    def test_empty(self):
+        h = size_histogram(np.array([]))
+        assert all(v == 0.0 for v in h.values())
+
+    def test_oversize_bucket(self):
+        h = size_histogram(np.array([256]))
+        assert h[">128B"] == 1.0
+
+
+@st.composite
+def store_streams(draw):
+    n = draw(st.integers(1, 200))
+    addrs = draw(
+        st.lists(st.integers(0, 4096), min_size=n, max_size=n)
+    )
+    sizes = draw(st.lists(st.integers(1, 16), min_size=n, max_size=n))
+    return np.asarray(addrs, dtype=np.int64), np.asarray(sizes, dtype=np.int64)
+
+
+class TestHypothesisInvariants:
+    @given(store_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_byte_conservation_per_warp(self, stream):
+        """Transactions cover exactly the union of each warp's bytes."""
+        addrs, sizes = stream
+        ta, ts, tw = coalesce_stream(addrs, sizes, warp_size=32)
+        # Expected: per warp, the union of [a, a+s) byte sets.
+        expected: dict[int, set[int]] = {}
+        for i, (a, s) in enumerate(zip(addrs.tolist(), sizes.tolist())):
+            expected.setdefault(i // 32, set()).update(range(a, a + s))
+        got: dict[int, set[int]] = {}
+        for a, s, w in zip(ta.tolist(), ts.tolist(), tw.tolist()):
+            bucket = got.setdefault(w, set())
+            span = set(range(a, a + s))
+            assert not bucket & span, "transactions overlap"
+            bucket |= span
+        assert got == expected
+
+    @given(store_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_transactions_within_single_line(self, stream):
+        addrs, sizes = stream
+        ta, ts, _ = coalesce_stream(addrs, sizes)
+        for a, s in zip(ta.tolist(), ts.tolist()):
+            assert a // LINE_BYTES == (a + s - 1) // LINE_BYTES
+
+    @given(store_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, stream):
+        addrs, sizes = stream
+        r1 = coalesce_stream(addrs, sizes)
+        r2 = coalesce_stream(addrs, sizes)
+        for x, y in zip(r1, r2):
+            assert np.array_equal(x, y)

@@ -1,0 +1,67 @@
+"""Roofline compute model and GV100 parameter tests."""
+
+import pytest
+
+from repro.gpu.compute import GV100, ComputeModel, GPUParams, KernelWork
+
+
+class TestGV100Params:
+    def test_table3_values(self):
+        """Paper Table III GPU parameters."""
+        assert GV100.cache_block_bytes == 128
+        assert GV100.global_memory_bytes == 16 * 1024**3
+        assert GV100.num_sms == 80
+        assert GV100.cuda_cores_per_sm == 64
+        assert GV100.l2_bytes == 6 * 1024 * 1024
+        assert GV100.warp_size == 32
+        assert GV100.max_threads_per_sm == 2048
+        assert GV100.max_threads_per_cta == 1024
+
+
+class TestKernelWork:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            KernelWork(flops=-1, dram_bytes=0)
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            KernelWork(flops=1, dram_bytes=1, precision="int8")
+
+
+class TestComputeModel:
+    def test_memory_bound_kernel(self):
+        m = ComputeModel(efficiency=1.0, launch_overhead_ns=0.0)
+        work = KernelWork(flops=1.0, dram_bytes=9_000_000.0)
+        assert m.duration_ns(work) == pytest.approx(10_000.0)
+
+    def test_compute_bound_kernel(self):
+        m = ComputeModel(efficiency=1.0, launch_overhead_ns=0.0)
+        work = KernelWork(flops=78_000_000.0, dram_bytes=8.0)
+        assert m.duration_ns(work) == pytest.approx(10_000.0)
+
+    def test_fp32_roof_is_faster(self):
+        m = ComputeModel(efficiency=1.0, launch_overhead_ns=0.0)
+        w64 = KernelWork(flops=1e6, dram_bytes=0, precision="fp64")
+        w32 = KernelWork(flops=1e6, dram_bytes=0, precision="fp32")
+        assert m.duration_ns(w32) < m.duration_ns(w64)
+
+    def test_launch_overhead_floor(self):
+        m = ComputeModel(launch_overhead_ns=5000.0)
+        assert m.duration_ns(KernelWork(flops=0, dram_bytes=0)) == 5000.0
+
+    def test_efficiency_derates(self):
+        fast = ComputeModel(efficiency=1.0, launch_overhead_ns=0.0)
+        slow = ComputeModel(efficiency=0.5, launch_overhead_ns=0.0)
+        w = KernelWork(flops=1e6, dram_bytes=1e6)
+        assert slow.duration_ns(w) == pytest.approx(2 * fast.duration_ns(w))
+
+    def test_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            ComputeModel(efficiency=0.0)
+        with pytest.raises(ValueError):
+            ComputeModel(efficiency=1.5)
+
+    def test_custom_params(self):
+        params = GPUParams(name="toy", hbm_bytes_per_ns=1.0)
+        m = ComputeModel(params=params, efficiency=1.0, launch_overhead_ns=0.0)
+        assert m.duration_ns(KernelWork(flops=0, dram_bytes=100)) == 100.0

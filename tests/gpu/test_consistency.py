@@ -1,0 +1,102 @@
+"""Scoped weak memory model checker tests."""
+
+import pytest
+
+from repro.gpu.consistency import (
+    OrderingChecker,
+    OrderingViolation,
+    ProgramStore,
+    Scope,
+)
+
+
+def store(seq, addr, size=8):
+    return ProgramStore(seq=seq, addr=addr, size=size)
+
+
+class TestProgramStore:
+    def test_overlap(self):
+        assert store(0, 0, 8).overlaps(store(1, 4, 8))
+        assert not store(0, 0, 8).overlaps(store(1, 8, 8))
+
+
+class TestOrderingChecker:
+    def test_reordering_different_addresses_allowed(self):
+        """The weak model permits free reordering of non-overlapping
+        stores between synchronization points (paper Sec. IV-C)."""
+        c = OrderingChecker()
+        c.issue(store(0, 0))
+        c.issue(store(1, 64))
+        c.observe_store(1)
+        c.observe_store(0)  # no violation
+
+    def test_same_address_order_enforced(self):
+        c = OrderingChecker()
+        c.issue(store(0, 0))
+        c.issue(store(1, 0))
+        c.observe_store(1)
+        with pytest.raises(OrderingViolation):
+            c.observe_store(0)
+
+    def test_partial_overlap_enforced(self):
+        c = OrderingChecker()
+        c.issue(store(0, 0, 8))
+        c.issue(store(1, 4, 8))
+        c.observe_store(1)
+        with pytest.raises(OrderingViolation):
+            c.observe_store(0)
+
+    def test_release_requires_prior_visibility(self):
+        c = OrderingChecker()
+        c.issue(store(0, 0))
+        rid = c.release()
+        with pytest.raises(OrderingViolation):
+            c.observe_release(rid)
+
+    def test_release_after_flush_ok(self):
+        c = OrderingChecker()
+        c.issue(store(0, 0))
+        rid = c.release()
+        c.observe_store(0)
+        c.observe_release(rid)
+
+    def test_release_scopes_only_prior_stores(self):
+        c = OrderingChecker()
+        c.issue(store(0, 0))
+        rid = c.release()
+        c.issue(store(1, 8))  # after the release; not covered by it
+        c.observe_store(0)
+        c.observe_release(rid)
+        assert c.pending_count == 1
+
+    def test_coalesced_observation(self):
+        c = OrderingChecker()
+        c.issue(store(0, 0))
+        c.issue(store(1, 0))
+        c.observe_coalesced([1, 0])  # merged write observes in order
+
+    def test_double_visibility_rejected(self):
+        c = OrderingChecker()
+        c.issue(store(0, 0))
+        c.observe_store(0)
+        with pytest.raises(OrderingViolation):
+            c.observe_store(0)
+
+    def test_unknown_store_rejected(self):
+        c = OrderingChecker()
+        with pytest.raises(OrderingViolation):
+            c.observe_store(7)
+
+    def test_unknown_release_rejected(self):
+        c = OrderingChecker()
+        with pytest.raises(OrderingViolation):
+            c.observe_release(3)
+
+    def test_duplicate_seq_rejected(self):
+        c = OrderingChecker()
+        c.issue(store(0, 0))
+        with pytest.raises(ValueError):
+            c.issue(store(0, 8))
+
+    def test_scope_enum(self):
+        assert Scope.SYSTEM.value == "sys"

@@ -1,0 +1,37 @@
+"""GPU composition and HBM model tests."""
+
+import pytest
+
+from repro.gpu.compute import ComputeModel, KernelWork
+from repro.gpu.gpu import GPU
+from repro.gpu.hbm import HBMModel
+
+
+class TestHBM:
+    def test_access_time(self):
+        hbm = HBMModel(bandwidth_bytes_per_ns=900.0, latency_ns=350.0)
+        assert hbm.access_time_ns(0) == 0.0
+        assert hbm.access_time_ns(9000) == pytest.approx(360.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HBMModel().access_time_ns(-1)
+
+    def test_drain_rate_exceeds_pcie(self):
+        """Sec. IV-C: local memory can always absorb link-rate ingress."""
+        assert HBMModel().drain_rate() > 128.0
+
+
+class TestGPU:
+    def test_kernel_time_delegates_to_compute_model(self):
+        gpu = GPU(index=0, compute=ComputeModel(efficiency=1.0, launch_overhead_ns=0))
+        w = KernelWork(flops=0, dram_bytes=9_000.0)
+        assert gpu.kernel_time_ns(w) == pytest.approx(10.0)
+
+    def test_l2_bound_to_gpu_index(self):
+        gpu = GPU(index=2)
+        assert gpu.l2.gpu == 2
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            GPU(index=-1)

@@ -1,0 +1,100 @@
+"""Address space and allocation tests."""
+
+import pytest
+
+from repro.gpu.memory import (
+    APERTURE_BYTES,
+    Allocator,
+    MemorySpace,
+    gpu_base,
+    owner_of,
+)
+
+
+class TestAddressSpace:
+    def test_aperture_size_is_16GB(self):
+        assert APERTURE_BYTES == 16 * 1024**3
+
+    def test_gpu_base(self):
+        assert gpu_base(0) == 0
+        assert gpu_base(2) == 2 * APERTURE_BYTES
+
+    def test_owner_roundtrip(self):
+        for g in range(8):
+            assert owner_of(gpu_base(g)) == g
+            assert owner_of(gpu_base(g) + APERTURE_BYTES - 1) == g
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gpu_base(-1)
+        with pytest.raises(ValueError):
+            owner_of(-5)
+
+
+class TestAllocator:
+    def test_alignment(self):
+        a = Allocator(gpu=1)
+        first = a.alloc(10, align=256)
+        second = a.alloc(10, align=256)
+        assert first == gpu_base(1)
+        assert second == first + 256
+
+    def test_bad_alignment(self):
+        with pytest.raises(ValueError):
+            Allocator(0).alloc(8, align=3)
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            Allocator(0).alloc(0)
+
+    def test_exhaustion(self):
+        a = Allocator(0)
+        a.alloc(APERTURE_BYTES - 256)
+        with pytest.raises(MemoryError):
+            a.alloc(512)
+
+
+class TestMemorySpace:
+    def test_replicated_buffer_addresses(self):
+        m = MemorySpace(4)
+        buf = m.alloc_replicated("x", 1024)
+        assert set(buf.replicas) == {0, 1, 2, 3}
+        for g, addr in buf.replicas.items():
+            assert owner_of(addr) == g
+
+    def test_replica_offsets_consistent(self):
+        """All replicas of the first buffer share the aperture offset --
+        the spatial-locality property FinePack exploits."""
+        m = MemorySpace(4)
+        buf = m.alloc_replicated("x", 4096)
+        offsets = {addr - gpu_base(g) for g, addr in buf.replicas.items()}
+        assert len(offsets) == 1
+
+    def test_buffer_addr_and_offset(self):
+        m = MemorySpace(2)
+        buf = m.alloc_replicated("x", 100)
+        a = buf.addr(1, 40)
+        assert buf.offset_of(a) == 40
+
+    def test_addr_bounds_checked(self):
+        m = MemorySpace(2)
+        buf = m.alloc_replicated("x", 100)
+        with pytest.raises(IndexError):
+            buf.addr(0, 100)
+
+    def test_offset_of_foreign_address(self):
+        m = MemorySpace(2)
+        buf = m.alloc_replicated("x", 100)
+        other = m.alloc_replicated("y", 100)
+        with pytest.raises(ValueError):
+            buf.offset_of(other.replicas[0])
+
+    def test_partial_replication(self):
+        m = MemorySpace(4)
+        buf = m.alloc_replicated("x", 64, gpus=[0, 2])
+        assert set(buf.replicas) == {0, 2}
+
+    def test_local_alloc(self):
+        m = MemorySpace(4)
+        addr = m.alloc_local("scratch", 256, gpu=3)
+        assert owner_of(addr) == 3

@@ -1,0 +1,80 @@
+"""Golden-number regression tests.
+
+The simulator is fully deterministic for a fixed seed, so the headline
+metrics of every workload are pinned here (captured from a verified
+run) with a tolerance band.  A failure means the model's behaviour
+changed -- re-run the benches, review EXPERIMENTS.md, and re-pin
+deliberately if the change is intentional.
+"""
+
+import pytest
+
+from repro.sim.runner import ExperimentConfig, compare_paradigms
+from repro.workloads import WORKLOADS
+
+#: Captured with ExperimentConfig(iterations=2), seed 7.
+GOLDEN = {
+    "jacobi": {
+        "speedups": {"p2p": 3.51, "dma": 2.81, "finepack": 3.50, "infinite": 3.53},
+        "finepack_wire": 206_304,
+        "stores_per_packet": 25.6,
+    },
+    "pagerank": {
+        "speedups": {"p2p": 0.47, "dma": 0.73, "finepack": 1.34, "infinite": 2.23},
+        "finepack_wire": 2_697_984,
+        "stores_per_packet": 68.3,
+    },
+    "sssp": {
+        "speedups": {"p2p": 0.45, "dma": 0.78, "finepack": 1.29, "infinite": 2.75},
+        "finepack_wire": 6_070_844,
+        "stores_per_packet": 63.9,
+    },
+    "als": {
+        "speedups": {"p2p": 0.97, "dma": 0.73, "finepack": 1.35, "infinite": 2.04},
+        "finepack_wire": 2_238_792,
+        "stores_per_packet": 66.3,
+    },
+    "ct": {
+        "speedups": {"p2p": 3.82, "dma": 3.27, "finepack": 3.82, "infinite": 3.83},
+        "finepack_wire": 1_012_464,
+        "stores_per_packet": 3.6,
+    },
+    "eqwp": {
+        "speedups": {"p2p": 3.59, "dma": 2.45, "finepack": 3.57, "infinite": 3.60},
+        "finepack_wire": 2_575_632,
+        "stores_per_packet": 29.6,
+    },
+    "diffusion": {
+        "speedups": {"p2p": 3.35, "dma": 2.07, "finepack": 3.32, "infinite": 3.37},
+        "finepack_wire": 2_086_368,
+        "stores_per_packet": 29.5,
+    },
+    "hit": {
+        "speedups": {"p2p": 1.50, "dma": 1.04, "finepack": 1.78, "infinite": 3.45},
+        "finepack_wire": 11_126_208,
+        "stores_per_packet": 29.8,
+    },
+}
+
+TOLERANCE = 0.15
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_metrics(name):
+    result = compare_paradigms(
+        WORKLOADS[name](),
+        paradigms=("p2p", "dma", "finepack", "infinite"),
+        config=ExperimentConfig(iterations=2),
+    )
+    golden = GOLDEN[name]
+    for paradigm, expected in golden["speedups"].items():
+        got = result.speedup(paradigm)
+        assert got == pytest.approx(expected, rel=TOLERANCE), (
+            f"{name}/{paradigm}: speedup {got:.2f} drifted from "
+            f"golden {expected:.2f}"
+        )
+    fp = result.runs["finepack"]
+    assert fp.wire_bytes == pytest.approx(golden["finepack_wire"], rel=TOLERANCE)
+    assert fp.packets.mean_stores_per_packet == pytest.approx(
+        golden["stores_per_packet"], rel=TOLERANCE
+    )

@@ -1,0 +1,27 @@
+"""Trace save/load replay must be bit-identical in simulation results."""
+
+import pytest
+
+from repro.sim.paradigms import make_paradigm
+from repro.sim.system import MultiGPUSystem
+from repro.trace.tracefile import load_trace, save_trace
+from repro.workloads import DiffusionWorkload, SSSPWorkload
+
+
+@pytest.mark.parametrize(
+    "workload", [DiffusionWorkload(n=24), SSSPWorkload(n=8_000)], ids=["diffusion", "sssp"]
+)
+@pytest.mark.parametrize("paradigm", ["p2p", "finepack", "dma"])
+def test_replay_identical(tmp_path, workload, paradigm):
+    trace = workload.generate_trace(n_gpus=4, iterations=2, seed=5)
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+
+    a = MultiGPUSystem.build(n_gpus=4).run(trace, make_paradigm(paradigm))
+    b = MultiGPUSystem.build(n_gpus=4).run(loaded, make_paradigm(paradigm))
+
+    assert a.total_time_ns == pytest.approx(b.total_time_ns)
+    assert a.wire_bytes == b.wire_bytes
+    assert a.bytes.as_dict() == b.bytes.as_dict()
+    assert a.packets.messages == b.packets.messages

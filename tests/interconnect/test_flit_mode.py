@@ -1,0 +1,57 @@
+"""PCIe 6.0 FLIT-mode cost model tests."""
+
+import pytest
+
+from repro.interconnect.pcie import PCIE_GEN4, PCIE_GEN6, PCIeProtocol
+
+
+@pytest.fixture
+def flit():
+    return PCIeProtocol(PCIE_GEN6, flit_mode=True)
+
+
+@pytest.fixture
+def classic():
+    return PCIeProtocol(PCIE_GEN6, flit_mode=False)
+
+
+class TestFlitMode:
+    def test_no_per_tlp_framing(self, flit, classic):
+        """FLIT mode drops framing/sequence/LCRC from the TLP itself."""
+        assert flit.per_tlp_overhead < classic.per_tlp_overhead
+        assert flit.per_tlp_overhead == 16 + 4  # header + ECRC
+
+    def test_small_store_helped(self, flit, classic):
+        """The per-packet savings outweigh the flit tax for tiny TLPs."""
+        assert flit.store_goodput(8) > classic.store_goodput(8)
+
+    def test_flit_tax_on_bulk(self, flit, classic):
+        """Bulk transfers pay the fixed ~8.5% flit CRC/FEC share, so
+        classic encoding has the edge at large payloads."""
+        fp, fo = flit.bulk_transfer_cost(1 << 20)
+        cp, co = classic.bulk_transfer_cost(1 << 20)
+        assert fo > co
+        assert fp / (fp + fo) == pytest.approx(236 / 256, rel=0.01)
+
+    def test_goodput_still_monotonic(self, flit):
+        sizes = [4, 8, 16, 32, 64, 128, 512, 4096]
+        goodputs = [flit.store_goodput(s) for s in sizes]
+        assert goodputs == sorted(goodputs)
+
+    def test_finepack_still_wins_under_flit_mode(self, flit):
+        """FLIT mode narrows but does not remove the small-store
+        penalty -- FinePack remains beneficial on Gen6 links."""
+        from repro.core.config import FinePackConfig
+        from repro.core.packet import FinePackPacket, SubTransaction
+
+        packet = FinePackPacket(
+            base_addr=0,
+            subs=[SubTransaction(offset=i * 128, length=8) for i in range(42)],
+            stores_absorbed=42,
+        )
+        fp_total = sum(packet.wire_cost(FinePackConfig(), flit))
+        raw_total = 42 * sum(flit.store_wire_cost(8))
+        assert raw_total / fp_total > 1.8
+
+    def test_default_is_classic(self):
+        assert not PCIeProtocol(PCIE_GEN4).flit_mode

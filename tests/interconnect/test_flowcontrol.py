@@ -1,0 +1,50 @@
+"""Credit-pool flow-control tests."""
+
+import pytest
+
+from repro.interconnect.flowcontrol import DATA_CREDIT_BYTES, CreditPool
+
+
+@pytest.fixture
+def pool() -> CreditPool:
+    return CreditPool(
+        header_credits=2, data_credit_bytes=256, drain_bytes_per_ns=1.0
+    )
+
+
+class TestCreditPool:
+    def test_data_credit_unit(self):
+        assert DATA_CREDIT_BYTES == 16
+
+    def test_empty_pool_starts_immediately(self, pool):
+        assert pool.earliest_start(10.0, 100) == 10.0
+
+    def test_oversized_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.earliest_start(0.0, 257)
+
+    def test_data_credit_stall(self, pool):
+        pool.commit(arrival=0.0, nbytes=200)  # drains at t=200
+        start = pool.earliest_start(0.0, 100)
+        assert start == pytest.approx(200.0)
+
+    def test_header_credit_stall(self, pool):
+        pool.commit(0.0, 10)  # drains at 10
+        pool.commit(0.0, 20)  # drains at 20
+        # Both header credits consumed; must wait for the first drain.
+        start = pool.earliest_start(0.0, 10)
+        assert start == pytest.approx(10.0)
+
+    def test_drained_transactions_release_credits(self, pool):
+        pool.commit(0.0, 200)
+        assert pool.earliest_start(300.0, 200) == 300.0
+
+    def test_occupancy(self, pool):
+        pool.commit(0.0, 64)
+        tlps, occupied = pool.occupancy(1.0)
+        assert (tlps, occupied) == (1, 64)
+        tlps, occupied = pool.occupancy(100.0)
+        assert (tlps, occupied) == (0, 0)
+
+    def test_commit_returns_drain_time(self, pool):
+        assert pool.commit(5.0, 64) == pytest.approx(69.0)

@@ -1,0 +1,40 @@
+"""WireMessage tests."""
+
+import pytest
+
+from repro.interconnect.message import MessageKind, WireMessage
+
+
+def make(payload=64, overhead=32, **kw):
+    return WireMessage(src=0, dst=1, payload_bytes=payload, overhead_bytes=overhead, **kw)
+
+
+class TestWireMessage:
+    def test_wire_bytes(self):
+        assert make().wire_bytes == 96
+
+    def test_goodput(self):
+        assert make().goodput == pytest.approx(64 / 96)
+
+    def test_goodput_empty(self):
+        assert make(payload=0, overhead=0).goodput == 0.0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            make(payload=-1)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            make(overhead=-1)
+
+    def test_default_kind_is_store(self):
+        assert make().kind is MessageKind.STORE
+
+    def test_meta_is_per_instance(self):
+        a, b = make(), make()
+        a.meta["x"] = 1
+        assert "x" not in b.meta
+
+    def test_all_kinds_distinct(self):
+        values = [k.value for k in MessageKind]
+        assert len(values) == len(set(values))

@@ -1,0 +1,62 @@
+"""NVLink flit model tests (Figure 2's second protocol)."""
+
+import pytest
+
+from repro.interconnect.nvlink import FLIT_BYTES, SECTOR_BYTES, NVLinkProtocol
+
+
+@pytest.fixture
+def nvlink() -> NVLinkProtocol:
+    return NVLinkProtocol()
+
+
+class TestStoreCost:
+    def test_aligned_sector_write_needs_no_be_flit(self, nvlink):
+        payload, overhead = nvlink.store_wire_cost(32, addr=0)
+        assert payload == 32
+        assert overhead == FLIT_BYTES  # header only
+
+    def test_sub_sector_write_needs_be_flit(self, nvlink):
+        payload, overhead = nvlink.store_wire_cost(24, addr=0)
+        assert payload == 24
+        # header + BE flit + 8 B padding to the 2nd data flit.
+        assert overhead == FLIT_BYTES * 2 + 8
+
+    def test_misaligned_full_sector_needs_be_flit(self, nvlink):
+        assert nvlink.needs_byte_enable_flit(32, addr=8)
+        assert not nvlink.needs_byte_enable_flit(32, addr=32)
+
+    def test_goodput_spikes_non_monotonic(self, nvlink):
+        """The Fig. 2 caption's byte-enable-flit 'spikes': a 32 B
+        aligned store beats some larger unaligned sizes."""
+        g32 = nvlink.store_goodput(32, addr=0)
+        g40 = nvlink.store_goodput(40, addr=0)
+        assert g32 > g40
+
+    def test_full_packet_goodput(self, nvlink):
+        assert nvlink.store_goodput(256, addr=0) == pytest.approx(256 / 272)
+
+    @pytest.mark.parametrize("size", [0, -8])
+    def test_rejects_non_positive(self, nvlink, size):
+        with pytest.raises(ValueError):
+            nvlink.store_wire_cost(size)
+
+    def test_rejects_oversized(self, nvlink):
+        with pytest.raises(ValueError):
+            nvlink.store_wire_cost(257)
+
+
+class TestBulk:
+    def test_zero(self, nvlink):
+        assert nvlink.bulk_transfer_cost(0) == (0, 0)
+
+    def test_negative(self, nvlink):
+        with pytest.raises(ValueError):
+            nvlink.bulk_transfer_cost(-1)
+
+    def test_full_packets_one_header_each(self, nvlink):
+        payload, overhead = nvlink.bulk_transfer_cost(512)
+        assert (payload, overhead) == (512, 2 * FLIT_BYTES)
+
+    def test_sector_constant(self):
+        assert SECTOR_BYTES == 32

@@ -1,0 +1,125 @@
+"""PCIe protocol cost model tests."""
+
+import pytest
+
+from repro.interconnect.pcie import (
+    GENERATIONS,
+    PCIE_GEN3,
+    PCIE_GEN4,
+    PCIE_GEN5,
+    PCIE_GEN6,
+    PCIeProtocol,
+)
+
+
+class TestGenerations:
+    def test_bandwidth_doubles_per_generation(self):
+        assert PCIE_GEN4.bandwidth_gbps == 2 * PCIE_GEN3.bandwidth_gbps
+        assert PCIE_GEN5.bandwidth_gbps == 2 * PCIE_GEN4.bandwidth_gbps
+        assert PCIE_GEN6.bandwidth_gbps == 2 * PCIE_GEN5.bandwidth_gbps
+
+    def test_paper_bandwidths(self):
+        """Paper Sec. V: 32 GB/s (Gen4) to 128 GB/s (Gen6)."""
+        assert PCIE_GEN4.bandwidth_gbps == 32.0
+        assert PCIE_GEN6.bandwidth_gbps == 128.0
+
+    def test_registry_by_generation_number(self):
+        assert GENERATIONS[4] is PCIE_GEN4
+        assert sorted(GENERATIONS) == [3, 4, 5, 6]
+
+    def test_bytes_per_ns_equals_gbps(self):
+        assert PCIE_GEN4.bytes_per_ns == 32.0
+
+    def test_max_payload_default(self):
+        assert PCIE_GEN4.max_payload == 4096
+
+
+class TestPerTLPOverhead:
+    def test_default_overhead_composition(self, protocol):
+        # framing 4 + seq 2 + header 16 + LCRC 4 + ECRC 4 + DLLP 2
+        assert protocol.per_tlp_overhead == 32
+
+    def test_without_ecrc(self):
+        p = PCIeProtocol(PCIE_GEN4, ecrc=False)
+        assert p.per_tlp_overhead == 28
+
+    def test_without_amortized_dllp(self):
+        p = PCIeProtocol(PCIE_GEN4, amortized_dllp=False)
+        assert p.per_tlp_overhead == 30
+
+    def test_paper_dll_crc_bytes(self):
+        """Sec. VI-B: sequence number + ECRC + LCRC cost 10 bytes."""
+        from repro.interconnect.pcie import ECRC_BYTES, LCRC_BYTES, SEQUENCE_BYTES
+
+        assert SEQUENCE_BYTES + LCRC_BYTES + ECRC_BYTES == 10
+
+
+class TestStoreCost:
+    def test_dw_padding_counts_as_overhead(self, protocol):
+        payload, overhead = protocol.store_wire_cost(5)
+        assert payload == 5
+        assert overhead == protocol.per_tlp_overhead + 3  # pad 5 -> 8
+
+    def test_aligned_store_no_padding(self, protocol):
+        payload, overhead = protocol.store_wire_cost(32)
+        assert (payload, overhead) == (32, protocol.per_tlp_overhead)
+
+    @pytest.mark.parametrize("size", [0, -4])
+    def test_rejects_non_positive(self, protocol, size):
+        with pytest.raises(ValueError):
+            protocol.store_wire_cost(size)
+
+    def test_rejects_oversized(self, protocol):
+        with pytest.raises(ValueError):
+            protocol.store_wire_cost(4097)
+
+    def test_goodput_32B_roughly_half_of_128B(self, protocol):
+        """Paper Fig. 2: 32 B transfers ~half as efficient as 128 B."""
+        g32 = protocol.store_goodput(32)
+        g128 = protocol.store_goodput(128)
+        assert g32 == pytest.approx(0.5, abs=0.03)
+        assert g32 / g128 == pytest.approx(0.625, abs=0.1)
+
+    def test_goodput_monotonic_in_aligned_sizes(self, protocol):
+        sizes = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096]
+        goodputs = [protocol.store_goodput(s) for s in sizes]
+        assert goodputs == sorted(goodputs)
+
+    def test_goodput_approaches_one(self, protocol):
+        assert protocol.store_goodput(4096) > 0.99
+
+
+class TestBulkCost:
+    def test_zero_bytes(self, protocol):
+        assert protocol.bulk_transfer_cost(0) == (0, 0)
+
+    def test_negative_rejected(self, protocol):
+        with pytest.raises(ValueError):
+            protocol.bulk_transfer_cost(-1)
+
+    def test_exact_multiple_of_max_payload(self, protocol):
+        payload, overhead = protocol.bulk_transfer_cost(4096 * 3)
+        assert payload == 4096 * 3
+        assert overhead == 3 * protocol.per_tlp_overhead
+
+    def test_remainder_tail_tlp(self, protocol):
+        payload, overhead = protocol.bulk_transfer_cost(4096 + 10)
+        assert payload == 4106
+        # 10 B tail pads to 12 B.
+        assert overhead == 2 * protocol.per_tlp_overhead + 2
+
+    def test_bulk_goodput_beats_small_stores(self, protocol):
+        bulk_p, bulk_o = protocol.bulk_transfer_cost(1 << 20)
+        assert bulk_p / (bulk_p + bulk_o) > protocol.store_goodput(128)
+
+
+class TestTiming:
+    def test_transfer_time_scales_with_generation(self):
+        g4 = PCIeProtocol(PCIE_GEN4)
+        g6 = PCIeProtocol(PCIE_GEN6)
+        assert g4.transfer_time_ns(4096) == pytest.approx(
+            4 * g6.transfer_time_ns(4096)
+        )
+
+    def test_transfer_time_linear(self, protocol):
+        assert protocol.transfer_time_ns(64) == pytest.approx(2.0)

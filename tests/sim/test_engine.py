@@ -1,0 +1,74 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_time_order(self):
+        e = Engine()
+        log = []
+        e.schedule(5.0, log.append, "b")
+        e.schedule(1.0, log.append, "a")
+        e.schedule(9.0, log.append, "c")
+        e.run()
+        assert log == ["a", "b", "c"]
+        assert e.now == 9.0
+
+    def test_ties_break_by_schedule_order(self):
+        e = Engine()
+        log = []
+        e.schedule(1.0, log.append, "first")
+        e.schedule(1.0, log.append, "second")
+        e.run()
+        assert log == ["first", "second"]
+
+    def test_schedule_in_past_rejected(self):
+        e = Engine()
+        e.schedule(5.0, lambda: None)
+        e.run()
+        with pytest.raises(ValueError):
+            e.schedule(3.0, lambda: None)
+
+    def test_schedule_after(self):
+        e = Engine()
+        log = []
+        e.schedule(2.0, lambda: e.schedule_after(3.0, lambda: log.append(e.now)))
+        e.run()
+        assert log == [5.0]
+
+    def test_run_until(self):
+        e = Engine()
+        log = []
+        e.schedule(1.0, log.append, 1)
+        e.schedule(10.0, log.append, 10)
+        e.run(until=5.0)
+        assert log == [1]
+        assert e.now == 5.0
+        assert e.pending == 1
+
+    def test_events_scheduled_during_run(self):
+        e = Engine()
+        log = []
+
+        def cascade(depth):
+            log.append(depth)
+            if depth < 3:
+                e.schedule_after(1.0, cascade, depth + 1)
+
+        e.schedule(0.0, cascade, 0)
+        e.run()
+        assert log == [0, 1, 2, 3]
+        assert e.events_processed == 4
+
+    def test_step_empty(self):
+        assert not Engine().step()
+
+    def test_reset(self):
+        e = Engine()
+        e.schedule(1.0, lambda: None)
+        e.run()
+        e.reset()
+        assert e.now == 0.0
+        assert e.pending == 0

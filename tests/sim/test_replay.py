@@ -1,0 +1,136 @@
+"""Execution-driven event replay tests."""
+
+import pytest
+
+from repro.gpu.consistency import Scope
+from repro.sim.paradigms import FinePackParadigm, P2PStoreParadigm
+from repro.sim.replay import EventReplaySession, ReplayError, phase_events
+from repro.sim.system import MultiGPUSystem
+from repro.trace.events import (
+    EventKind,
+    FenceEvent,
+    LoadEvent,
+    MemcpyPeerEvent,
+    StoreEvent,
+    fence,
+    store,
+)
+from repro.workloads import DiffusionWorkload
+
+BASE = 1 << 34
+
+
+@pytest.fixture
+def session():
+    return EventReplaySession(
+        MultiGPUSystem.build(n_gpus=2), FinePackParadigm()
+    )
+
+
+class TestEventIntake:
+    def test_store_then_fence_produces_packet(self, session):
+        session.feed(store(0, BASE, 8, dst=1, time=10.0))
+        session.feed(store(0, BASE + 256, 8, dst=1, time=20.0))
+        session.feed(fence(0, Scope.SYSTEM, time=30.0))
+        report = session.finish()
+        assert report.stores == 2
+        assert report.fences == 1
+        assert report.packets.messages == 1
+        assert report.packets.stores_carried == 2
+
+    def test_local_store_no_traffic(self, session):
+        session.feed(store(0, 64, 8, dst=0, time=1.0))
+        assert session.finish().wire_bytes == 0
+
+    def test_owner_inferred_from_address(self, session):
+        ev = StoreEvent(kind=EventKind.STORE, gpu=0, time=1.0, addr=BASE, size=8)
+        session.feed(ev)  # dst defaults to -1: inferred as GPU 1
+        assert session.finish().packets.messages == 1
+
+    def test_remote_load_flushes_conflicts(self, session):
+        session.feed(store(0, BASE, 8, dst=1, time=1.0))
+        session.feed(
+            LoadEvent(kind=EventKind.LOAD, gpu=0, time=2.0, addr=BASE, size=4, dst=1)
+        )
+        report = session.finish()
+        assert report.loads == 1
+        assert report.packets.messages == 1  # load forced the flush
+
+    def test_memcpy_event(self, session):
+        session.feed(
+            MemcpyPeerEvent(
+                kind=EventKind.MEMCPY_PEER,
+                gpu=0,
+                time=5.0,
+                dst=1,
+                src_addr=0,
+                dst_addr=BASE,
+                nbytes=4096,
+            )
+        )
+        report = session.finish()
+        assert report.copies == 1
+        assert report.wire_payload_bytes == 4096
+
+    def test_kernel_end_is_release(self, session):
+        from repro.trace.events import TraceEvent
+
+        session.feed(store(0, BASE, 8, dst=1, time=1.0))
+        session.feed(TraceEvent(kind=EventKind.KERNEL_END, gpu=0, time=2.0))
+        assert session.report.packets.messages == 1
+
+    def test_finish_flushes(self, session):
+        session.feed(store(0, BASE, 8, dst=1, time=1.0))
+        assert session.finish().packets.messages == 1
+
+    def test_finish_idempotent(self, session):
+        session.feed(store(0, BASE, 8, dst=1, time=1.0))
+        a = session.finish()
+        b = session.finish()
+        assert a is b
+
+
+class TestContract:
+    def test_time_must_be_monotonic_per_gpu(self, session):
+        session.feed(store(0, BASE, 8, dst=1, time=10.0))
+        with pytest.raises(ReplayError, match="backwards"):
+            session.feed(store(0, BASE + 8, 8, dst=1, time=5.0))
+
+    def test_other_gpus_independent_clocks(self, session):
+        session.feed(store(0, BASE, 8, dst=1, time=10.0))
+        session.feed(store(1, 64, 8, dst=0, time=1.0))  # fine: own clock
+
+    def test_gpu_range_checked(self, session):
+        with pytest.raises(ReplayError):
+            session.feed(store(7, BASE, 8, dst=1, time=0.0))
+
+    def test_feed_after_finish_rejected(self, session):
+        session.finish()
+        with pytest.raises(ReplayError):
+            session.feed(store(0, BASE, 8, dst=1, time=1.0))
+
+    def test_single_gpu_system_rejected(self):
+        with pytest.raises(ValueError):
+            EventReplaySession(MultiGPUSystem.build(n_gpus=1), FinePackParadigm())
+
+
+class TestEquivalenceWithBulkPath:
+    def test_same_wire_bytes_as_phase_run(self):
+        """Expanding a phase trace to events reproduces the bulk path's
+        wire traffic exactly (P2P and FinePack)."""
+        trace = DiffusionWorkload(n=24).generate_trace(n_gpus=2, iterations=1)
+        phase0, phase1 = trace.iterations[0].phases
+
+        for paradigm_cls in (P2PStoreParadigm, FinePackParadigm):
+            system = MultiGPUSystem.build(n_gpus=2)
+            bulk = system.run(trace, paradigm_cls())
+
+            session = EventReplaySession(
+                MultiGPUSystem.build(n_gpus=2), paradigm_cls()
+            )
+            for phase in (phase0, phase1):
+                for ev in phase_events(phase, 0.0, 1000.0):
+                    session.feed(ev)
+            report = session.finish()
+            assert report.wire_bytes == bulk.wire_bytes
+            assert report.packets.messages == bulk.packets.messages

@@ -1,0 +1,80 @@
+"""Experiment runner tests on a scaled-down workload."""
+
+import pytest
+
+from repro.sim.runner import (
+    ComparisonResult,
+    ExperimentConfig,
+    compare_paradigms,
+    geomean,
+    run_workload,
+)
+from repro.workloads import JacobiWorkload
+
+
+@pytest.fixture(scope="module")
+def comparison() -> ComparisonResult:
+    cfg = ExperimentConfig(iterations=2)
+    return compare_paradigms(
+        JacobiWorkload(n=256), paradigms=("p2p", "dma", "finepack", "infinite"),
+        config=cfg,
+    )
+
+
+class TestCompareParadigms:
+    def test_all_paradigms_present(self, comparison):
+        assert set(comparison.runs) == {"p2p", "dma", "finepack", "infinite"}
+
+    def test_speedups_positive(self, comparison):
+        assert all(v > 0 for v in comparison.speedups().values())
+
+    def test_infinite_is_upper_bound(self, comparison):
+        sp = comparison.speedups()
+        assert sp["infinite"] >= max(sp["p2p"], sp["dma"], sp["finepack"]) - 1e-9
+
+    def test_bytes_normalized_reference_is_one(self, comparison):
+        norm = comparison.bytes_normalized_to("dma")
+        assert norm["dma"]["total"] == pytest.approx(1.0)
+
+    def test_bytes_categories_sum(self, comparison):
+        norm = comparison.bytes_normalized_to("dma")
+        for row in norm.values():
+            assert row["useful"] + row["protocol_overhead"] + row["wasted"] == pytest.approx(
+                row["total"]
+            )
+
+    def test_normalize_to_empty_reference_rejected(self, comparison):
+        with pytest.raises(ValueError):
+            comparison.bytes_normalized_to("infinite")
+
+
+class TestRunWorkload:
+    def test_explicit_trace_reuse(self):
+        w = JacobiWorkload(n=256)
+        cfg = ExperimentConfig(iterations=2)
+        trace = w.generate_trace(n_gpus=4, iterations=2, seed=cfg.seed)
+        a = run_workload(w, "finepack", config=cfg, trace=trace)
+        b = run_workload(w, "finepack", config=cfg, trace=trace)
+        assert a.total_time_ns == b.total_time_ns
+        assert a.wire_bytes == b.wire_bytes
+
+    def test_paradigm_instance_accepted(self):
+        from repro.sim.paradigms import FinePackParadigm
+
+        m = run_workload(
+            JacobiWorkload(n=256), FinePackParadigm(), config=ExperimentConfig(iterations=1)
+        )
+        assert m.paradigm == "finepack"
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

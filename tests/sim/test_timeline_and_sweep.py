@@ -1,0 +1,105 @@
+"""Timeline rendering, link utilization, and sweep utility tests."""
+
+import pytest
+
+from repro.core.config import FinePackConfig
+from repro.interconnect.pcie import GENERATIONS, PCIE_GEN4, PCIE_GEN6
+from repro.sim.metrics import LinkUtilization, RunMetrics
+from repro.sim.paradigms import FinePackParadigm, make_paradigm
+from repro.sim.runner import ExperimentConfig, run_workload
+from repro.sim.sweep import generation_sweep, single_gpu_time, sweep
+from repro.sim.system import MultiGPUSystem
+from repro.sim.timeline import render_comparison, render_timeline
+from repro.workloads import PagerankWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return PagerankWorkload(n=12_000)
+
+
+@pytest.fixture(scope="module")
+def metrics(workload):
+    return run_workload(workload, "p2p", ExperimentConfig(iterations=2))
+
+
+class TestLinkUtilization:
+    def test_populated_after_run(self, metrics):
+        assert metrics.links.by_link
+        assert 0.0 < metrics.links.peak <= 1.0
+        assert 0.0 < metrics.links.mean <= metrics.links.peak
+
+    def test_gpu_egress_subset(self, metrics):
+        egress = metrics.links.gpu_egress()
+        assert egress
+        assert all(name.startswith("gpu") for name in egress)
+
+    def test_empty_default(self):
+        assert LinkUtilization().peak == 0.0
+        assert LinkUtilization().mean == 0.0
+
+    def test_comm_bound_paradigm_busier(self, workload):
+        cfg = ExperimentConfig(iterations=2)
+        p2p = run_workload(workload, "p2p", cfg)
+        fp = run_workload(workload, "finepack", cfg)
+        assert p2p.links.peak > fp.links.peak
+
+
+class TestTimeline:
+    def test_render_contains_iterations(self, metrics):
+        text = render_timeline(metrics)
+        assert "it 0" in text and "it 1" in text
+        assert "egress link utilization" in text
+
+    def test_render_empty_run(self):
+        m = RunMetrics(workload="x", paradigm="y", n_gpus=2)
+        assert "(no iterations)" in render_timeline(m)
+
+    def test_render_comparison_bars(self, workload):
+        cfg = ExperimentConfig(iterations=2)
+        runs = {p: run_workload(workload, p, cfg) for p in ("p2p", "finepack")}
+        text = render_comparison(runs)
+        assert "p2p" in text and "finepack" in text
+        assert "ms" in text
+
+
+class TestSweep:
+    def test_subheader_sweep(self, workload):
+        def factory(b):
+            def make():
+                cfg = FinePackConfig(subheader_bytes=b)
+                return (
+                    MultiGPUSystem.build(n_gpus=4, finepack_config=cfg),
+                    FinePackParadigm(cfg),
+                )
+
+            return make
+
+        result = sweep(
+            workload, {f"{b}B": factory(b) for b in (2, 4, 5)}, iterations=2
+        )
+        assert {p.label for p in result.points} == {"2B", "4B", "5B"}
+        assert all(p.speedup > 0 for p in result.points)
+        # best() selects the maximum-speedup point.  (At this reduced
+        # scale the physics of the sweet spot is exercised by the
+        # integration suite and Fig. 12 bench, not here.)
+        assert result.best().speedup == max(p.speedup for p in result.points)
+
+    def test_generation_sweep(self, workload):
+        result = generation_sweep(
+            workload,
+            {"gen4": PCIE_GEN4, "gen6": PCIE_GEN6},
+            paradigm_name="p2p",
+            iterations=2,
+        )
+        by = result.by_label()
+        assert by["gen6"].speedup >= by["gen4"].speedup
+
+    def test_single_gpu_time_positive(self, workload):
+        assert single_gpu_time(workload) > 0
+
+    def test_empty_sweep_best_raises(self, workload):
+        from repro.sim.sweep import SweepResult
+
+        with pytest.raises(ValueError):
+            SweepResult(workload="x").best()

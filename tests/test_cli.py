@@ -1,0 +1,102 @@
+"""CLI tests (``python -m repro``)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv) -> str:
+    out = io.StringIO()
+    assert main(list(argv), out=out) == 0
+    return out.getvalue()
+
+
+class TestList:
+    def test_lists_workloads_and_paradigms(self):
+        text = run_cli("list")
+        for name in ("jacobi", "pagerank", "sssp", "als", "ct", "eqwp", "diffusion", "hit"):
+            assert name in text
+        for paradigm in ("p2p", "dma", "finepack", "gps", "wc", "infinite"):
+            assert paradigm in text
+
+
+class TestRun:
+    def test_run_small(self):
+        text = run_cli(
+            "run", "jacobi", "finepack", "--gpus", "2", "--iterations", "1"
+        )
+        assert "jacobi / finepack" in text
+        assert "total_time_ms" in text
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "nosuch", "finepack")
+
+    def test_unknown_paradigm_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "jacobi", "warp-drive")
+
+
+class TestCompare:
+    def test_compare_table(self):
+        text = run_cli(
+            "compare", "diffusion", "--gpus", "2", "--iterations", "1",
+            "--paradigms", "p2p", "finepack",
+        )
+        assert "speedup" in text
+        assert "p2p" in text and "finepack" in text
+
+
+class TestTraceReplay:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        text = run_cli(
+            "trace", "jacobi", str(path), "--gpus", "2", "--iterations", "1"
+        )
+        assert "remote stores" in text
+        text = run_cli("replay", str(path), "finepack")
+        assert "jacobi / finepack" in text
+
+    def test_replay_respects_subheader_config(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        run_cli("trace", "pagerank", str(path), "--gpus", "2", "--iterations", "1")
+        a = run_cli("replay", str(path), "finepack", "--subheader-bytes", "2")
+        b = run_cli("replay", str(path), "finepack", "--subheader-bytes", "5")
+        assert a != b
+
+
+class TestGoodput:
+    def test_table(self):
+        text = run_cli("goodput")
+        assert "pcie" in text and "nvlink" in text
+        assert "16384" in text
+
+
+class TestTimelineFlag:
+    def test_run_with_timeline(self):
+        text = run_cli(
+            "run", "diffusion", "finepack", "--gpus", "2", "--iterations", "1",
+            "--timeline",
+        )
+        assert "iteration timeline" in text
+        assert "egress link utilization" in text
+
+
+class TestSweep:
+    def test_subheader_sweep(self):
+        text = run_cli(
+            "sweep", "diffusion", "subheader", "--gpus", "2", "--iterations", "1"
+        )
+        assert "subheader sweep" in text
+        for label in ("2B", "4B", "6B"):
+            assert label in text
+
+    def test_generation_sweep(self):
+        text = run_cli(
+            "sweep", "diffusion", "generation", "--paradigm", "p2p",
+            "--gpus", "2", "--iterations", "1",
+        )
+        for label in ("gen3", "gen6"):
+            assert label in text

@@ -1,0 +1,32 @@
+"""Examples must at least import cleanly and expose a main()."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None))
+
+
+def test_custom_workload_example_runs_small():
+    """The tutorial workload works end to end at a reduced size."""
+    path = Path(__file__).parent.parent / "examples" / "custom_workload.py"
+    spec = importlib.util.spec_from_file_location("example_custom", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    from repro.sim.runner import ExperimentConfig, compare_paradigms
+
+    w = module.HistogramWorkload(n_bins=8_000, total_samples=8_000)
+    result = compare_paradigms(
+        w, paradigms=("p2p", "finepack"), config=ExperimentConfig(iterations=2)
+    )
+    assert result.runs["finepack"].wire_bytes < result.runs["p2p"].wire_bytes

@@ -1,0 +1,25 @@
+"""Trace event vocabulary tests."""
+
+import pytest
+
+from repro.gpu.consistency import Scope
+from repro.trace.events import EventKind, StoreEvent, fence, store
+
+
+class TestEvents:
+    def test_store_constructor(self):
+        ev = store(gpu=0, addr=128, size=8, dst=2, time=5.0)
+        assert ev.kind is EventKind.STORE
+        assert (ev.addr, ev.size, ev.dst, ev.time) == (128, 8, 2, 5.0)
+
+    def test_store_size_validated(self):
+        with pytest.raises(ValueError):
+            StoreEvent(kind=EventKind.STORE, gpu=0, addr=0, size=0, dst=1)
+
+    def test_fence_default_scope(self):
+        assert fence(gpu=1).scope is Scope.SYSTEM
+
+    def test_events_are_frozen(self):
+        ev = store(0, 0, 8, 1)
+        with pytest.raises(AttributeError):
+            ev.addr = 5

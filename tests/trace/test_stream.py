@@ -1,0 +1,110 @@
+"""Trace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.compute import KernelWork
+from repro.trace.stream import (
+    DMATransfer,
+    IterationTrace,
+    KernelPhase,
+    RemoteStoreBatch,
+    WorkloadTrace,
+)
+
+
+def batch(addrs, sizes, dsts):
+    return RemoteStoreBatch(
+        np.asarray(addrs, np.int64),
+        np.asarray(sizes, np.int64),
+        np.asarray(dsts, np.int64),
+    )
+
+
+def phase(gpu, stores=None):
+    return KernelPhase(
+        gpu=gpu,
+        work=KernelWork(flops=1.0, dram_bytes=1.0),
+        stores=stores or RemoteStoreBatch.empty(),
+    )
+
+
+class TestRemoteStoreBatch:
+    def test_counts_and_bytes(self):
+        b = batch([0, 8], [8, 16], [1, 2])
+        assert b.count == 2
+        assert b.total_bytes == 24
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            batch([0], [8, 8], [1, 1])
+
+    def test_non_positive_size(self):
+        with pytest.raises(ValueError):
+            batch([0], [0], [1])
+
+    def test_for_dst(self):
+        b = batch([0, 8, 16], [8, 8, 8], [1, 2, 1])
+        sub = b.for_dst(1)
+        assert sub.count == 2
+        assert sub.addrs.tolist() == [0, 16]
+
+    def test_destinations_sorted(self):
+        b = batch([0, 8], [8, 8], [3, 1])
+        assert b.destinations() == [1, 3]
+
+    def test_concat(self):
+        b = RemoteStoreBatch.concat(
+            [batch([0], [8], [1]), RemoteStoreBatch.empty(), batch([8], [8], [2])]
+        )
+        assert b.count == 2
+
+    def test_concat_all_empty(self):
+        assert RemoteStoreBatch.concat([]).count == 0
+
+    def test_footprint_merges_overlaps(self):
+        b = batch([0, 4, 100], [8, 8, 8], [1, 1, 1])
+        assert b.footprint().total_bytes == 20
+
+
+class TestDMATransfer:
+    def test_positive_only(self):
+        with pytest.raises(ValueError):
+            DMATransfer(dst=1, dst_addr=0, nbytes=0)
+
+    def test_region(self):
+        t = DMATransfer(dst=1, dst_addr=100, nbytes=50)
+        assert t.region().total_bytes == 50
+        assert not t.aggregated
+
+
+class TestIterationTrace:
+    def test_requires_ordered_phases(self):
+        with pytest.raises(ValueError):
+            IterationTrace([phase(1), phase(0)])
+
+    def test_n_gpus(self):
+        it = IterationTrace([phase(0), phase(1)])
+        assert it.n_gpus == 2
+
+
+class TestWorkloadTrace:
+    def test_iteration_gpu_count_checked(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(
+                name="x", n_gpus=2, iterations=[IterationTrace([phase(0)])]
+            )
+
+    def test_aggregates(self):
+        it = IterationTrace([phase(0, batch([0, 8], [8, 16], [1, 1])), phase(1)])
+        trace = WorkloadTrace(name="x", n_gpus=2, iterations=[it, it])
+        assert trace.n_iterations == 2
+        assert trace.total_remote_stores() == 4
+        assert trace.total_remote_bytes() == 48
+        assert sorted(trace.all_store_sizes().tolist()) == [8, 8, 16, 16]
+
+    def test_all_store_sizes_empty(self):
+        trace = WorkloadTrace(
+            name="x", n_gpus=1, iterations=[IterationTrace([phase(0)])]
+        )
+        assert trace.all_store_sizes().size == 0

@@ -1,0 +1,79 @@
+"""Trace serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.compute import KernelWork
+from repro.trace.intervals import IntervalSet
+from repro.trace.stream import (
+    DMATransfer,
+    IterationTrace,
+    KernelPhase,
+    RemoteStoreBatch,
+    WorkloadTrace,
+)
+from repro.trace.tracefile import load_trace, save_trace
+from repro.workloads import JacobiWorkload
+
+
+def small_trace() -> WorkloadTrace:
+    stores = RemoteStoreBatch(
+        np.array([100, 200], dtype=np.int64),
+        np.array([8, 16], dtype=np.int64),
+        np.array([1, 1], dtype=np.int64),
+    )
+    phases = [
+        KernelPhase(
+            gpu=0,
+            work=KernelWork(flops=10.0, dram_bytes=20.0, precision="fp32"),
+            stores=stores,
+            reads=IntervalSet.from_ranges([50], [10]),
+            dma=[DMATransfer(dst=1, dst_addr=100, nbytes=64, aggregated=True)],
+        ),
+        KernelPhase(gpu=1, work=KernelWork(flops=5.0, dram_bytes=5.0)),
+    ]
+    return WorkloadTrace(
+        name="toy",
+        n_gpus=2,
+        iterations=[IterationTrace(phases)],
+        metadata={"k": 3},
+    )
+
+
+class TestRoundTrip:
+    def test_manual_trace(self, tmp_path):
+        path = tmp_path / "t.npz"
+        original = small_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+
+        assert loaded.name == original.name
+        assert loaded.n_gpus == original.n_gpus
+        assert loaded.metadata == {"k": 3}
+        p0, q0 = original.iterations[0].phases[0], loaded.iterations[0].phases[0]
+        assert np.array_equal(p0.stores.addrs, q0.stores.addrs)
+        assert np.array_equal(p0.stores.sizes, q0.stores.sizes)
+        assert np.array_equal(p0.reads.starts, q0.reads.starts)
+        assert q0.work.precision == "fp32"
+        assert q0.dma == p0.dma
+
+    def test_workload_trace(self, tmp_path):
+        original = JacobiWorkload(n=64).generate_trace(n_gpus=2, iterations=2)
+        path = tmp_path / "jacobi.npz"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.total_remote_stores() == original.total_remote_stores()
+        assert loaded.total_remote_bytes() == original.total_remote_bytes()
+        assert loaded.n_iterations == 2
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        header = {"version": 99, "phases": []}
+        np.savez(
+            path,
+            __header__=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)

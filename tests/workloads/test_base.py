@@ -1,0 +1,69 @@
+"""Workload framework helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import gpu_base
+from repro.workloads.base import (
+    contiguous_interval,
+    element_intervals,
+    interleave,
+    push_elements,
+)
+
+
+class TestPushElements:
+    def test_contiguous_elements_coalesce(self):
+        """Consecutive 8 B elements become 128 B transactions."""
+        batch = push_elements(np.arange(32), 8, dst_gpu=1, dst_base=gpu_base(1))
+        assert batch.count == 2
+        assert batch.sizes.tolist() == [128, 128]
+        assert (batch.dsts == 1).all()
+
+    def test_scattered_elements_stay_small(self):
+        ids = np.arange(0, 3200, 100)
+        batch = push_elements(ids, 8, dst_gpu=2, dst_base=gpu_base(2))
+        assert batch.count == 32
+        assert (batch.sizes == 8).all()
+
+    def test_empty(self):
+        assert push_elements(np.array([]), 8, 1, 0).count == 0
+
+    def test_addresses_inside_destination(self):
+        batch = push_elements(np.arange(10), 8, 1, gpu_base(1))
+        assert (batch.addrs >> 34 == 1).all()
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        out = interleave(np.arange(8), ways=4)
+        assert out.tolist() == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    def test_preserves_multiset(self):
+        ids = np.arange(100)
+        assert sorted(interleave(ids, 32).tolist()) == ids.tolist()
+
+    def test_short_input_passthrough(self):
+        ids = np.arange(5)
+        assert np.array_equal(interleave(ids, 32), ids)
+
+    def test_padding_dropped(self):
+        out = interleave(np.arange(10), ways=4)
+        assert sorted(out.tolist()) == list(range(10))
+
+    def test_kills_l1_coalescing(self):
+        contiguous = push_elements(np.arange(2048), 8, 1, gpu_base(1))
+        scattered = push_elements(interleave(np.arange(2048), 32), 8, 1, gpu_base(1))
+        assert scattered.count > 10 * contiguous.count
+
+
+class TestIntervals:
+    def test_element_intervals_merge_adjacent(self):
+        s = element_intervals(np.array([0, 1, 5]), 8, base=1000)
+        assert s.total_bytes == 24
+        assert len(s) == 2
+
+    def test_contiguous_interval(self):
+        s = contiguous_interval(100, 50)
+        assert s.total_bytes == 50
+        assert s.contains(100) and not s.contains(150)

@@ -1,0 +1,107 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    banded_matrix,
+    bipartite_ratings,
+    owner_of_vertex,
+    partition_bounds,
+    powerlaw_graph,
+)
+
+
+class TestBandedMatrix:
+    def test_csr_validity(self):
+        g = banded_matrix(1000, band=50, avg_degree=6, seed=1)
+        assert g.indptr.shape == (1001,)
+        assert g.indptr[-1] == g.nnz
+        assert (np.diff(g.indptr) >= 0).all()
+        assert (g.dst >= 0).all() and (g.dst < 1000).all()
+
+    def test_band_locality(self):
+        g = banded_matrix(1000, band=50, avg_degree=6, seed=1)
+        src = np.repeat(np.arange(1000), g.out_degree())
+        assert (np.abs(src - g.dst) <= 50).all()
+
+    def test_no_self_loops(self):
+        g = banded_matrix(500, band=20, avg_degree=4, seed=2)
+        src = np.repeat(np.arange(500), g.out_degree())
+        assert (src != g.dst).all()
+
+    def test_deterministic(self):
+        a = banded_matrix(300, 10, 4, seed=9)
+        b = banded_matrix(300, 10, 4, seed=9)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            banded_matrix(1, 10, 4)
+        with pytest.raises(ValueError):
+            banded_matrix(100, 0, 4)
+
+
+class TestPowerlawGraph:
+    def test_heavy_tail(self):
+        """A few hub vertices should attract a large share of edges."""
+        g = powerlaw_graph(10_000, avg_degree=8, seed=3)
+        in_deg = np.zeros(10_000, dtype=np.int64)
+        np.add.at(in_deg, g.dst, 1)
+        top = np.sort(in_deg)[-100:]
+        assert top.sum() > 0.2 * g.nnz  # top 1% of vertices get >20%
+
+    def test_reaches_everywhere(self):
+        """Many-to-many: every quarter-partition pair sees edges."""
+        g = powerlaw_graph(4_000, avg_degree=8, seed=4)
+        bounds = partition_bounds(4_000, 4)
+        src = np.repeat(np.arange(4_000), g.out_degree())
+        so = owner_of_vertex(src, bounds)
+        do = owner_of_vertex(g.dst, bounds)
+        pairs = set(zip(so.tolist(), do.tolist()))
+        assert all((a, b) in pairs for a in range(4) for b in range(4) if a != b)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(100, 4, alpha=1.0)
+
+    def test_deterministic(self):
+        a = powerlaw_graph(500, 4, seed=5)
+        b = powerlaw_graph(500, 4, seed=5)
+        assert np.array_equal(a.dst, b.dst)
+
+
+class TestBipartiteRatings:
+    def test_csr_csc_consistency(self):
+        r = bipartite_ratings(200, 50, avg_ratings=5, seed=6)
+        assert r.user_indptr[-1] == r.nnz
+        assert r.item_indptr[-1] == r.nnz
+        assert (r.item_ids < 50).all()
+        assert (r.user_ids < 200).all()
+        # Same multiset of (user, item) pairs both ways.
+        by_user = set()
+        users = np.repeat(np.arange(200), np.diff(r.user_indptr))
+        by_user = sorted(zip(users.tolist(), r.item_ids.tolist()))
+        items = np.repeat(np.arange(50), np.diff(r.item_indptr))
+        by_item = sorted(zip(r.user_ids.tolist(), items.tolist()))
+        assert by_user == by_item
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bipartite_ratings(0, 10, 5)
+
+
+class TestPartitioning:
+    def test_bounds_cover_range(self):
+        b = partition_bounds(103, 4)
+        assert b[0] == 0 and b[-1] == 103
+        assert (np.diff(b) > 0).all()
+
+    def test_owner_lookup(self):
+        b = partition_bounds(100, 4)
+        v = np.array([0, 24, 25, 99])
+        assert owner_of_vertex(v, b).tolist() == [0, 0, 1, 3]
+
+    def test_too_many_parts(self):
+        with pytest.raises(ValueError):
+            partition_bounds(3, 4)

@@ -1,0 +1,126 @@
+"""Numeric validation of the workload algorithms against independent
+implementations (networkx, scipy) and convergence properties."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.workloads.datasets import (
+    banded_matrix,
+    bipartite_ratings,
+    dedup_edges,
+    powerlaw_graph,
+)
+from repro.workloads.reference import (
+    als_factorize,
+    bellman_ford,
+    jacobi_poisson_2d,
+    pagerank,
+    spectral_roundtrip,
+)
+
+
+def to_scipy(graph, weights=None):
+    src = np.repeat(np.arange(graph.n), graph.out_degree())
+    data = weights if weights is not None else np.ones(graph.nnz)
+    return sp.csr_matrix((data, (src, graph.dst)), shape=(graph.n, graph.n))
+
+
+class TestPagerank:
+    def test_matches_networkx(self):
+        # networkx collapses parallel edges; compare on a simple graph.
+        graph, _ = dedup_edges(banded_matrix(300, band=30, avg_degree=5, seed=3))
+        ours = pagerank(graph, damping=0.85, iterations=100)
+        src = np.repeat(np.arange(graph.n), graph.out_degree())
+        g = nx.DiGraph()
+        g.add_nodes_from(range(graph.n))
+        g.add_edges_from(zip(src.tolist(), graph.dst.tolist()))
+        theirs = nx.pagerank(g, alpha=0.85, max_iter=200, tol=1e-12)
+        theirs_vec = np.array([theirs[i] for i in range(graph.n)])
+        assert np.allclose(ours, theirs_vec, atol=1e-6)
+
+    def test_ranks_sum_to_one(self):
+        graph = powerlaw_graph(500, 4, seed=1)
+        assert pagerank(graph).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_hubs_rank_higher(self):
+        graph = powerlaw_graph(2000, 6, seed=2)
+        in_deg = np.zeros(graph.n)
+        np.add.at(in_deg, graph.dst, 1)
+        x = pagerank(graph)
+        top_hub = int(np.argmax(in_deg))
+        assert x[top_hub] > np.median(x)
+
+
+class TestBellmanFord:
+    def test_matches_scipy(self):
+        # scipy's csr constructor sums duplicate edges; collapse them
+        # (keeping the minimum weight) before comparing.
+        raw = powerlaw_graph(400, 5, seed=4)
+        rng = np.random.default_rng(5)
+        raw_weights = rng.integers(1, 100, raw.nnz).astype(np.int64)
+        graph, weights = dedup_edges(raw, raw_weights)
+        ours = bellman_ford(graph, weights, source=0)
+        mat = to_scipy(graph, weights.astype(float))
+        theirs = csgraph.bellman_ford(mat, indices=0, directed=True)
+        inf = np.iinfo(np.int64).max // 4
+        reachable = ours < inf
+        assert np.array_equal(reachable, np.isfinite(theirs))
+        assert np.allclose(ours[reachable], theirs[reachable])
+
+    def test_weight_count_validated(self):
+        graph = powerlaw_graph(50, 3, seed=1)
+        with pytest.raises(ValueError):
+            bellman_ford(graph, np.ones(3, dtype=np.int64))
+
+    def test_early_termination_on_convergence(self):
+        graph = banded_matrix(100, 10, 4, seed=6)
+        weights = np.ones(graph.nnz, dtype=np.int64)
+        full = bellman_ford(graph, weights)
+        capped = bellman_ford(graph, weights, max_rounds=99)
+        assert np.array_equal(full, capped)
+
+
+class TestJacobi:
+    def test_residual_decreases(self):
+        _, residuals = jacobi_poisson_2d(n=48, iterations=30)
+        assert residuals[-1] < residuals[0]
+        # Monotone after the first couple of sweeps.
+        assert all(b <= a * 1.0001 for a, b in zip(residuals[2:], residuals[3:]))
+
+
+class TestALS:
+    def test_rmse_decreases(self):
+        ratings = bipartite_ratings(150, 40, avg_ratings=6, seed=7)
+        rng = np.random.default_rng(8)
+        values = rng.uniform(1, 5, ratings.nnz)
+        _, _, history = als_factorize(ratings, values, rank=6, iterations=6)
+        assert history[-1] < history[0]
+        assert all(b <= a * 1.01 for a, b in zip(history, history[1:]))
+
+    def test_recovers_low_rank_structure(self):
+        """Ratings generated from a true low-rank model are fit well."""
+        rng = np.random.default_rng(9)
+        ratings = bipartite_ratings(120, 30, avg_ratings=8, seed=9)
+        users = np.repeat(np.arange(120), np.diff(ratings.user_indptr))
+        U0 = rng.standard_normal((120, 4))
+        V0 = rng.standard_normal((30, 4))
+        values = np.einsum("ij,ij->i", U0[users], V0[ratings.item_ids])
+        # Slightly over-parameterized (rank 6 for rank-4 data): exact-
+        # rank ALS can stall in shallow local minima.
+        _, _, history = als_factorize(
+            ratings, values, rank=6, iterations=40, reg=1e-4
+        )
+        assert history[-1] < 0.25 * float(np.std(values))
+
+    def test_value_count_validated(self):
+        ratings = bipartite_ratings(10, 5, 2, seed=0)
+        with pytest.raises(ValueError):
+            als_factorize(ratings, np.ones(3))
+
+
+class TestSpectral:
+    def test_fft_roundtrip(self):
+        assert spectral_roundtrip(16) < 1e-12

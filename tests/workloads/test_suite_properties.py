@@ -1,0 +1,98 @@
+"""Generic invariants every workload's traces must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import owner_of
+from repro.workloads import small_suite
+
+
+@pytest.fixture(scope="module", params=small_suite(), ids=lambda w: w.name)
+def workload(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def trace4(workload):
+    return workload.generate_trace(n_gpus=4, iterations=3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def trace1(workload):
+    return workload.generate_trace(n_gpus=1, iterations=3, seed=11)
+
+
+class TestTraceShape:
+    def test_phase_per_gpu_per_iteration(self, trace4):
+        assert trace4.n_gpus == 4
+        assert trace4.n_iterations == 3
+        for it in trace4.iterations:
+            assert [p.gpu for p in it.phases] == [0, 1, 2, 3]
+
+    def test_stores_are_remote_and_well_addressed(self, trace4):
+        for it in trace4.iterations:
+            for p in it.phases:
+                s = p.stores
+                if s.count == 0:
+                    continue
+                owners = s.addrs >> 34
+                assert np.array_equal(owners, s.dsts), "store aperture != dst"
+                assert (s.dsts != p.gpu).all(), "store to self"
+                assert (s.sizes > 0).all() and (s.sizes <= 128).all()
+
+    def test_dma_targets_are_remote(self, trace4):
+        for it in trace4.iterations:
+            for p in it.phases:
+                for t in p.dma:
+                    assert t.dst != p.gpu
+                    assert owner_of(t.dst_addr) == t.dst
+
+    def test_reads_are_local(self, trace4):
+        for it in trace4.iterations:
+            for p in it.phases:
+                if p.reads:
+                    assert (p.reads.starts >> 34 == p.gpu).all()
+
+    def test_multi_gpu_trace_communicates(self, trace4):
+        assert trace4.total_remote_stores() > 0
+
+
+class TestSingleGPUBaseline:
+    def test_no_remote_traffic(self, trace1):
+        assert trace1.total_remote_stores() == 0
+        for it in trace1.iterations:
+            for p in it.phases:
+                assert p.dma == []
+
+    def test_work_is_conserved(self, trace4, trace1):
+        """Strong scaling: 4 GPUs together do the single GPU's work."""
+        for it4, it1 in zip(trace4.iterations, trace1.iterations):
+            multi = sum(p.work.dram_bytes for p in it4.phases)
+            single = it1.phases[0].work.dram_bytes
+            assert multi == pytest.approx(single, rel=0.05)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, workload):
+        a = workload.generate_trace(n_gpus=2, iterations=2, seed=3)
+        b = workload.generate_trace(n_gpus=2, iterations=2, seed=3)
+        assert a.total_remote_stores() == b.total_remote_stores()
+        for ita, itb in zip(a.iterations, b.iterations):
+            for pa, pb in zip(ita.phases, itb.phases):
+                assert np.array_equal(pa.stores.addrs, pb.stores.addrs)
+
+
+class TestConsumption:
+    def test_some_stored_bytes_are_read(self, trace4):
+        """Producers and consumers must actually meet: at least part of
+        what is pushed in iteration k is read in iteration k+1."""
+        total_overlap = 0
+        for k, it in enumerate(trace4.iterations):
+            consumer = trace4.iterations[min(k + 1, trace4.n_iterations - 1)]
+            reads = {p.gpu: p.reads for p in consumer.phases}
+            for p in it.phases:
+                for dst in p.stores.destinations():
+                    foot = p.stores.for_dst(dst).footprint()
+                    total_overlap += foot.intersect(reads[dst]).total_bytes
+        if trace4.total_remote_stores():
+            assert total_overlap > 0
