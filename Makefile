@@ -1,6 +1,6 @@
 # Convenience targets for the FinePack reproduction.
 
-.PHONY: install test bench quick docs report clean
+.PHONY: install test bench quick verify docs report clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,19 @@ test:
 
 quick:
 	pytest tests/ -x -q -m "not slow"
+
+# Full gate: tier-1 tests, a smoke traced run, and schema validation of
+# the exported Chrome trace.  PYTHONPATH=src so it works without
+# 'make install'.
+verify: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+verify:
+	python -m pytest tests/ -x -q
+	python -m repro run jacobi finepack --gpus 2 --iterations 1 \
+		--trace-out /tmp/repro_verify_trace.json
+	python -c "from repro.obs import validate_chrome_trace_file; \
+		obj = validate_chrome_trace_file('/tmp/repro_verify_trace.json'); \
+		print('trace schema OK:', len(obj['traceEvents']), 'events')"
+	rm -f /tmp/repro_verify_trace.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

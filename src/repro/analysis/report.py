@@ -36,6 +36,39 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_link_timeline(tracer, title: str = "per-link timeline") -> str:
+    """Per-link activity summary from a traced run (``repro.obs``).
+
+    Aggregates the tracer's ``LINK_TX`` serialization spans into one row
+    per link direction: transmissions, wire bytes, busy time, and the
+    active window (first transmission start to last transmission end).
+    """
+    from ..obs.events import EventKind
+
+    per_link: dict[str, list[float]] = {}
+    for e in tracer.events:
+        if e.kind is not EventKind.LINK_TX:
+            continue
+        row = per_link.get(e.track)
+        if row is None:
+            row = per_link[e.track] = [0, 0, 0.0, e.time_ns, e.end_ns]
+        row[0] += 1
+        row[1] += e.attrs["wire_bytes"]
+        row[2] += e.dur_ns
+        row[3] = min(row[3], e.time_ns)
+        row[4] = max(row[4], e.end_ns)
+    rows = [
+        [link, int(n), int(nbytes), busy / 1e3, first / 1e3, last / 1e3]
+        for link, (n, nbytes, busy, first, last) in sorted(per_link.items())
+    ]
+    return format_table(
+        title,
+        ["link", "msgs", "wire_B", "busy_us", "first_us", "last_us"],
+        rows,
+        float_fmt="{:.1f}",
+    )
+
+
 def format_speedup_table(title: str, speedups: dict[str, dict[str, float]]) -> str:
     """Workload-by-paradigm speedup matrix (Figure 9 layout)."""
     paradigms = sorted({p for row in speedups.values() for p in row})

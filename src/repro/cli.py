@@ -16,6 +16,13 @@ Commands
     Replay a saved trace under a paradigm.
 ``goodput``
     Print the Figure 2 goodput table.
+
+``run`` and ``sweep`` accept ``--trace-out FILE`` to record the run's
+structured event stream (``repro.obs``) and export it -- as Chrome
+``trace_event`` JSON loadable in ``chrome://tracing``/Perfetto, or as
+compact JSONL when the file name ends in ``.jsonl``.  Traced runs check
+runtime invariants (byte conservation, link exclusivity, empty remote
+write queues at barriers) as they go.
 """
 
 from __future__ import annotations
@@ -56,6 +63,25 @@ def _add_system_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="export the run's event trace (Chrome trace_event JSON; "
+        "use a .jsonl extension for the compact JSONL stream)",
+    )
+
+
+def _trace_metadata(args: argparse.Namespace) -> dict:
+    return {
+        "gpus": args.gpus,
+        "iterations": args.iterations,
+        "seed": args.seed,
+        "generation": args.gen,
+    }
+
+
 def _config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         n_gpus=args.gpus,
@@ -92,12 +118,40 @@ def cmd_list(args, out) -> int:
 
 
 def cmd_run(args, out) -> int:
-    metrics = run_workload(_workload(args.workload), args.paradigm, _config(args))
+    workload_name = args.workload_flag or args.workload
+    if workload_name is None:
+        raise SystemExit("run: name a workload (positionally or via --workload)")
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    metrics = run_workload(
+        _workload(workload_name), args.paradigm, _config(args), tracer=tracer
+    )
     _print_metrics(metrics, out)
     if args.timeline:
         from .sim.timeline import render_timeline
 
         print(render_timeline(metrics), file=out)
+    if tracer is not None:
+        from .analysis import format_link_timeline
+        from .obs import write_chrome_trace, write_jsonl
+
+        if args.trace_out.endswith(".jsonl"):
+            write_jsonl(args.trace_out, tracer)
+        else:
+            write_chrome_trace(
+                args.trace_out,
+                {f"{workload_name}/{args.paradigm}": tracer},
+                metadata=_trace_metadata(args),
+            )
+        print(format_link_timeline(tracer), file=out)
+        print(
+            f"wrote {args.trace_out}: {len(tracer.events)} events, "
+            f"invariants OK",
+            file=out,
+        )
     return 0
 
 
@@ -134,12 +188,22 @@ def cmd_sweep(args, out) -> int:
             return make
 
         configurations = {f"gen{g}": gen_factory(g) for g in sorted(GENERATIONS)}
+    tracers: dict[str, object] = {}
+    tracer_factory = None
+    if args.trace_out:
+        from .obs import Tracer
+
+        def tracer_factory(label: str):
+            tracers[label] = Tracer()
+            return tracers[label]
+
     result = sweep(
         workload,
         configurations,
         n_gpus=args.gpus,
         iterations=args.iterations,
         seed=args.seed,
+        tracer_factory=tracer_factory,
     )
     rows = [
         [p.label, p.speedup, p.metrics.wire_bytes / 1e6,
@@ -155,6 +219,16 @@ def cmd_sweep(args, out) -> int:
         ),
         file=out,
     )
+    if tracers:
+        from .obs import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, tracers, metadata=_trace_metadata(args))
+        total_events = sum(len(t.events) for t in tracers.values())
+        print(
+            f"wrote {args.trace_out}: {len(tracers)} sweep points, "
+            f"{total_events} events",
+            file=out,
+        )
     return 0
 
 
@@ -257,12 +331,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("run", help="run one workload under one paradigm")
-    p.add_argument("workload")
-    p.add_argument("paradigm", choices=sorted(PARADIGMS))
+    p.add_argument("workload", nargs="?", default=None)
+    p.add_argument(
+        "paradigm", nargs="?", default="finepack", choices=sorted(PARADIGMS)
+    )
+    p.add_argument(
+        "--workload",
+        dest="workload_flag",
+        default=None,
+        help="workload name (alternative to the positional form)",
+    )
     p.add_argument(
         "--timeline", action="store_true", help="render the iteration timeline"
     )
     _add_system_args(p)
+    _add_trace_args(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep a design parameter")
@@ -275,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="paradigm for generation sweeps (default finepack)",
     )
     _add_system_args(p)
+    _add_trace_args(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("compare", help="compare paradigms on one workload")

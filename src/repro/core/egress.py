@@ -303,6 +303,9 @@ class FinePackEgress:
         self.packetizer = Packetizer(config, protocol)
         self.stats = EgressStats()
         self._last_activity: dict[int, float] = {}
+        #: Optional :class:`repro.obs.Tracer`; set by the system when a
+        #: run is traced.  Every hook below is guarded by a None check.
+        self.tracer = None
 
     def _windows_to_messages(
         self, windows: list[tuple[int, FlushedWindow]], time: float
@@ -312,6 +315,15 @@ class FinePackEgress:
             packet = self.packetizer.packetize(window)
             msgs.append(self.packetizer.to_wire_message(packet, self.src, dst, time))
             self.stats.messages_out += 1
+            if self.tracer is not None:
+                self.tracer.rwq_flush(
+                    self.src,
+                    dst,
+                    window,
+                    data_bytes=sum(e.enabled_bytes() for e in window.entries),
+                    time_ns=time,
+                    pending_entries=self.queue.partition(dst).entry_count,
+                )
         return msgs
 
     def _expire_idle(self, now: float) -> list[WireMessage]:
@@ -341,6 +353,15 @@ class FinePackEgress:
         msgs.extend(
             self._windows_to_messages(self.queue.insert(addr, size, dst, data), time)
         )
+        if self.tracer is not None:
+            self.tracer.rwq_enqueue(
+                self.src,
+                dst,
+                addr,
+                size,
+                time_ns=time,
+                pending_entries=self.queue.partition(dst).entry_count,
+            )
         return msgs
 
     def on_atomic(self, addr: int, size: int, dst: int, time: float) -> list[WireMessage]:

@@ -133,6 +133,10 @@ class QueuePartition:
     def entry_count(self) -> int:
         return len(self._entries)
 
+    def pending_bytes(self) -> int:
+        """Valid (pending) data bytes currently buffered."""
+        return sum(e.enabled_bytes() for e in self._entries.values())
+
     @property
     def available_payload(self) -> int:
         """Remaining payload budget (max payload minus committed cost)."""
@@ -283,6 +287,13 @@ class MultiWindowPartition:
     def empty(self) -> bool:
         return all(s.empty for s in self._subs)
 
+    @property
+    def entry_count(self) -> int:
+        return sum(s.entry_count for s in self._subs)
+
+    def pending_bytes(self) -> int:
+        return sum(s.pending_bytes() for s in self._subs)
+
     def _touch(self, idx: int) -> None:
         self._lru.remove(idx)
         self._lru.append(idx)
@@ -294,6 +305,29 @@ class MultiWindowPartition:
     def insert(
         self, addr: int, size: int, data: bytes | None = None
     ) -> list[FlushedWindow]:
+        # Split at window boundaries before routing: deciding by the
+        # start address alone would let the tail of a boundary-spanning
+        # store reopen a base some other sub-window already covers, and
+        # two windows holding the same line deliver same-address stores
+        # out of order at flush time.
+        flushes: list[FlushedWindow] = []
+        window_bytes = self.config.window_bytes
+        pos = 0
+        while pos < size:
+            offset = (addr + pos) % window_bytes
+            chunk = min(size - pos, window_bytes - offset)
+            piece = None if data is None else data[pos : pos + chunk]
+            flushes.extend(self._insert_in_window(addr + pos, chunk, piece))
+            pos += chunk
+        for w in flushes:
+            self.stats.record_flush(w.reason, w.stores_absorbed)
+        self._absorb_stats()
+        return flushes
+
+    def _insert_in_window(
+        self, addr: int, size: int, data: bytes | None
+    ) -> list[FlushedWindow]:
+        """Route one window-contained piece to its aggregation window."""
         flushes: list[FlushedWindow] = []
         # A window already covering this address wins.
         for idx, sub in enumerate(self._subs):
@@ -315,9 +349,6 @@ class MultiWindowPartition:
                     flushes.append(window)
             self._touch(idx)
             flushes.extend(self._subs[idx].insert(addr, size, data))
-        for w in flushes:
-            self.stats.record_flush(w.reason, w.stores_absorbed)
-        self._absorb_stats()
         return flushes
 
     def flush(self, reason: FlushReason) -> list[FlushedWindow]:
@@ -410,6 +441,14 @@ class RemoteWriteQueue:
         if p.matches_load(addr, size):
             return self.flush_destination(dst, FlushReason.LOAD_CONFLICT)
         return []
+
+    def pending_entries(self) -> int:
+        """Occupied entries across all partitions (observability hook)."""
+        return sum(p.entry_count for p in self.partitions.values())
+
+    def pending_bytes(self) -> int:
+        """Buffered data bytes across all partitions (observability hook)."""
+        return sum(p.pending_bytes() for p in self.partitions.values())
 
     def total_sram_data_bytes(self) -> int:
         return len(self.partitions) * self.config.partition_data_bytes

@@ -77,6 +77,10 @@ class Link:
     error_rate: float = 0.0
     busy_until: float = 0.0
     stats: LinkStats = field(default_factory=LinkStats)
+    #: Optional :class:`repro.obs.Tracer`; when set, every transmission
+    #: emits a per-link serialization span (plus flow-control occupancy
+    #: for credited links).  Set via :meth:`Topology.set_tracer`.
+    tracer: object | None = field(default=None, repr=False, compare=False)
     _rng: np.random.Generator | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -121,6 +125,13 @@ class Link:
         if self.credits is not None:
             self.credits.commit(delivery, msg.payload_bytes)
         self.stats.record(msg, duration)
+        if self.tracer is not None:
+            credit_bytes = None
+            if self.credits is not None:
+                credit_bytes = self.credits.occupancy(start)[1]
+            self.tracer.link_transmit(
+                self.name, msg, start, end, credit_bytes=credit_bytes
+            )
         return start, delivery
 
     def reset(self) -> None:

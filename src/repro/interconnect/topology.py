@@ -83,6 +83,11 @@ class Topology:
     def total_wire_bytes(self) -> int:
         return sum(s.wire_bytes for s in self.all_stats().values())
 
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a tracer on every link."""
+        for link in self.links.values():
+            link.tracer = tracer
+
     def reset(self) -> None:
         for link in self.links.values():
             link.reset()

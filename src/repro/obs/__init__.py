@@ -1,0 +1,50 @@
+"""Observability layer: structured tracing, counters, exporters, and
+runtime invariant checking.
+
+Usage::
+
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()                      # invariant checking on by default
+    metrics = system.run(trace, paradigm, tracer=tracer)
+    write_chrome_trace("run.json", tracer)  # open in chrome://tracing
+
+See ``docs/observability.md`` for the event schema and exporter
+formats, and ``examples/trace_export.py`` for a complete walkthrough.
+"""
+
+from .counters import Counter, CounterRegistry, Gauge, Histogram
+from .events import SPAN_KINDS, EventKind, TraceEvent
+from .export import (
+    TraceSchemaError,
+    chrome_trace_dict,
+    chrome_trace_events,
+    read_jsonl,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .invariants import InvariantChecker, InvariantViolation
+from .tracer import Tracer
+
+__all__ = [
+    "Counter",
+    "CounterRegistry",
+    "Gauge",
+    "Histogram",
+    "EventKind",
+    "SPAN_KINDS",
+    "TraceEvent",
+    "TraceSchemaError",
+    "chrome_trace_dict",
+    "chrome_trace_events",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+    "write_jsonl",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Tracer",
+]

@@ -1,0 +1,136 @@
+"""Monotonic counters, gauges and histograms, sampled into a timeline.
+
+The :class:`CounterRegistry` is the aggregate side of the observability
+layer: where events record *that* something happened, counters record
+*how much* is happening -- bytes in flight, queue depths, packet-size
+distributions.  The tracer snapshots the registry on a configurable
+cadence into ``COUNTER_SAMPLE`` events, which export as Chrome-trace
+counter tracks.
+
+All structures are deterministic: snapshot key order is sorted, and
+histogram buckets are fixed powers of two, so two identical runs emit
+byte-identical samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """An instantaneous level that may move in both directions."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+def _pow2_bounds(max_exp: int = 16) -> tuple[int, ...]:
+    return tuple(1 << e for e in range(max_exp + 1))
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram (upper bounds, power-of-two by default).
+
+    ``counts[i]`` holds observations ``<= bounds[i]``; the final slot
+    counts overflows past the last bound.
+    """
+
+    name: str
+    bounds: tuple[int, ...] = field(default_factory=_pow2_bounds)
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"histogram bounds must be strictly increasing: {self.bounds}")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def nonzero_buckets(self) -> dict[str, int]:
+        """``{"<=bound": count}`` for populated buckets (stable order)."""
+        labels = [f"<={b}" for b in self.bounds] + [f">{self.bounds[-1]}"]
+        return {lab: c for lab, c in zip(labels, self.counts) if c}
+
+
+class CounterRegistry:
+    """Create-or-get registry of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds: tuple[int, ...] | None = None) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = (
+                Histogram(name, bounds) if bounds is not None else Histogram(name)
+            )
+        return h
+
+    def snapshot(self) -> dict[str, float]:
+        """Scalar view of every counter and gauge, sorted by name."""
+        out: dict[str, float] = {}
+        for name in sorted(self.counters):
+            out[name] = self.counters[name].value
+        for name in sorted(self.gauges):
+            out[name] = self.gauges[name].value
+        return out
+
+    def histogram_summary(self) -> dict[str, dict]:
+        """Bucketed view of every histogram, for export metadata."""
+        return {
+            name: {
+                "total": h.total,
+                "mean": h.mean,
+                "buckets": h.nonzero_buckets(),
+            }
+            for name, h in sorted(self.histograms.items())
+        }

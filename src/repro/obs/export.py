@@ -1,0 +1,239 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and compact JSONL.
+
+Two formats:
+
+* :func:`write_chrome_trace` -- the Chrome/Perfetto ``trace_event``
+  JSON object format (open it in ``chrome://tracing`` or
+  https://ui.perfetto.dev).  Tracks become named threads; span events
+  export as complete ("X") events, instants as "i", counter samples as
+  "C".  Multiple tracers (e.g. one per sweep configuration) merge into
+  one file as separate processes.
+* :func:`write_jsonl` -- one event per line in the tracer's native
+  schema, for ad-hoc ``jq``/pandas analysis and replay into an
+  :class:`~repro.obs.invariants.InvariantChecker`.
+
+Both exports are byte-deterministic for a deterministic run: track ids
+are assigned in first-appearance order and JSON keys are emitted in
+schema order.
+
+:func:`validate_chrome_trace` is a dependency-free structural validator
+used by tests and ``make verify`` to guarantee emitted files actually
+load in trace viewers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Mapping
+
+from .events import SPAN_KINDS, EventKind, TraceEvent
+from .tracer import Tracer
+
+#: Chrome trace timestamps are microseconds; ours are nanoseconds.
+_NS_TO_US = 1e-3
+
+#: Event phases the validator accepts (the subset we emit).
+_VALID_PHASES = frozenset({"X", "i", "C", "M"})
+
+
+class TraceSchemaError(ValueError):
+    """An exported trace object violates the Chrome trace_event schema."""
+
+
+def _track_order(events: Iterable[TraceEvent]) -> list[str]:
+    """Tracks in first-appearance order (deterministic tid assignment)."""
+    seen: dict[str, None] = {}
+    for e in events:
+        if e.track not in seen:
+            seen[e.track] = None
+    return list(seen)
+
+
+def chrome_trace_events(
+    tracer: Tracer, pid: int = 0, process_name: str | None = None
+) -> list[dict]:
+    """Convert one tracer's stream to Chrome ``traceEvents`` dicts."""
+    out: list[dict] = []
+    if process_name is not None:
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        )
+    tids = {track: i + 1 for i, track in enumerate(_track_order(tracer.events))}
+    for track, tid in tids.items():
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for e in tracer.events:
+        base = {
+            "name": e.name,
+            "cat": e.kind.value,
+            "ts": e.time_ns * _NS_TO_US,
+            "pid": pid,
+            "tid": tids[e.track],
+        }
+        if e.kind is EventKind.COUNTER_SAMPLE:
+            base["ph"] = "C"
+            base["args"] = dict(e.attrs)
+        elif e.kind in SPAN_KINDS:
+            base["ph"] = "X"
+            base["dur"] = e.dur_ns * _NS_TO_US
+            base["args"] = dict(e.attrs)
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"
+            base["args"] = dict(e.attrs)
+        out.append(base)
+    return out
+
+
+def chrome_trace_dict(
+    tracers: Tracer | Mapping[str, Tracer],
+    metadata: Mapping[str, object] | None = None,
+) -> dict:
+    """Build the full Chrome trace object.
+
+    Pass a single tracer for one run, or a ``{label: tracer}`` mapping
+    (e.g. one per sweep configuration) to merge runs as separate
+    processes in one file.
+    """
+    if isinstance(tracers, Tracer):
+        tracers = {"run": tracers}
+    events: list[dict] = []
+    summaries: dict[str, dict] = {}
+    for pid, (label, tracer) in enumerate(tracers.items()):
+        events.extend(chrome_trace_events(tracer, pid=pid, process_name=label))
+        summaries[label] = tracer.summary()
+    meta: dict[str, object] = {"tool": "repro.obs", "runs": summaries}
+    if metadata:
+        meta.update(metadata)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "metadata": meta,
+    }
+
+
+def write_chrome_trace(
+    path_or_file: str | IO[str],
+    tracers: Tracer | Mapping[str, Tracer],
+    metadata: Mapping[str, object] | None = None,
+) -> dict:
+    """Write a Chrome trace JSON file; returns the exported object."""
+    obj = chrome_trace_dict(tracers, metadata=metadata)
+    if hasattr(path_or_file, "write"):
+        json.dump(obj, path_or_file)
+    else:
+        with open(path_or_file, "w") as f:
+            json.dump(obj, f)
+    return obj
+
+
+def write_jsonl(path_or_file: str | IO[str], tracer: Tracer) -> None:
+    """Write the native event stream, one JSON object per line."""
+
+    def _dump(f: IO[str]) -> None:
+        for e in tracer.events:
+            f.write(json.dumps(e.to_jsonable()))
+            f.write("\n")
+
+    if hasattr(path_or_file, "write"):
+        _dump(path_or_file)
+    else:
+        with open(path_or_file, "w") as f:
+            _dump(f)
+
+
+def read_jsonl(path_or_file: str | IO[str]) -> list[TraceEvent]:
+    """Load a JSONL stream back into typed events (for offline replay)."""
+
+    def _load(f: IO[str]) -> list[TraceEvent]:
+        events = []
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            events.append(
+                TraceEvent(
+                    kind=EventKind(raw["kind"]),
+                    time_ns=raw["time_ns"],
+                    track=raw["track"],
+                    name=raw["name"],
+                    dur_ns=raw.get("dur_ns", 0.0),
+                    attrs=raw.get("attrs", {}),
+                )
+            )
+        return events
+
+    if hasattr(path_or_file, "read"):
+        return _load(path_or_file)
+    with open(path_or_file) as f:
+        return _load(f)
+
+
+def validate_chrome_trace(obj: object) -> None:
+    """Structurally validate a Chrome trace object; raises on problems.
+
+    Checks the subset of the ``trace_event`` format this exporter emits:
+    a ``traceEvents`` list whose entries carry the required keys with
+    the right types for their phase.  A file passing this check loads
+    in ``chrome://tracing`` and Perfetto.
+    """
+    if not isinstance(obj, dict):
+        raise TraceSchemaError(f"trace must be a JSON object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceSchemaError("trace object lacks a 'traceEvents' list")
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            raise TraceSchemaError(f"{where} is not an object")
+        ph = e.get("ph")
+        if ph not in _VALID_PHASES:
+            raise TraceSchemaError(f"{where} has invalid phase {ph!r}")
+        if not isinstance(e.get("name"), str):
+            raise TraceSchemaError(f"{where} lacks a string 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                raise TraceSchemaError(f"{where} lacks an integer {key!r}")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise TraceSchemaError(f"{where} has invalid ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TraceSchemaError(f"{where} complete event has invalid dur {dur!r}")
+        if ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise TraceSchemaError(f"{where} counter args must be numeric")
+        if ph == "M":
+            if e["name"] not in ("process_name", "thread_name"):
+                raise TraceSchemaError(f"{where} unknown metadata {e['name']!r}")
+            args = e.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                raise TraceSchemaError(f"{where} metadata lacks args.name")
+
+
+def validate_chrome_trace_file(path: str) -> dict:
+    """Load and validate a Chrome trace JSON file; returns the object."""
+    with open(path) as f:
+        obj = json.load(f)
+    validate_chrome_trace(obj)
+    return obj

@@ -17,13 +17,21 @@ from typing import Any, Callable
 
 
 class Engine:
-    """A deterministic discrete-event engine."""
+    """A deterministic discrete-event engine.
 
-    def __init__(self) -> None:
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when present
+    its :meth:`~repro.obs.Tracer.engine_step` hook runs after every
+    processed event (the invariant checker uses it to assert monotonic
+    engine time).  The ``None`` default keeps the hot loop to a single
+    pointer comparison.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self._heap: list[tuple[float, int, Callable[..., Any], tuple]] = []
         self._seq = 0
         self.now = 0.0
         self.events_processed = 0
+        self._tracer = tracer
 
     def schedule(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at simulated ``time``.
@@ -51,6 +59,8 @@ class Engine:
             return False
         time, _, fn, args = heapq.heappop(self._heap)
         self.now = time
+        if self._tracer is not None:
+            self._tracer.engine_step(time)
         fn(*args)
         self.events_processed += 1
         return True

@@ -68,15 +68,20 @@ def run_workload(
     paradigm: str | Paradigm,
     config: ExperimentConfig | None = None,
     trace: WorkloadTrace | None = None,
+    tracer=None,
 ) -> RunMetrics:
-    """Trace ``workload`` (unless a trace is supplied) and replay it."""
+    """Trace ``workload`` (unless a trace is supplied) and replay it.
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer` observing the
+    replay (see :mod:`repro.obs`).
+    """
     config = config or ExperimentConfig()
     if trace is None:
         trace = workload.generate_trace(
             n_gpus=config.n_gpus, iterations=config.iterations, seed=config.seed
         )
     system = build_system(config, n_gpus=trace.n_gpus)
-    return system.run(trace, _paradigm_instance(paradigm, config))
+    return system.run(trace, _paradigm_instance(paradigm, config), tracer=tracer)
 
 
 @dataclass

@@ -37,9 +37,17 @@ class SweepResult:
         return {p.label: p for p in self.points}
 
     def best(self) -> SweepPoint:
+        """The maximum-speedup point; exact ties break by label.
+
+        The stable lexicographic tie-break keeps the result independent
+        of the insertion order of the ``configurations`` dict.
+        """
         if not self.points:
             raise ValueError("empty sweep")
-        return max(self.points, key=lambda p: p.speedup)
+        top = max(p.speedup for p in self.points)
+        return min(
+            (p for p in self.points if p.speedup == top), key=lambda p: p.label
+        )
 
 
 def single_gpu_time(workload, iterations: int = 2, seed: int = 7) -> float:
@@ -56,11 +64,17 @@ def sweep(
     iterations: int = 2,
     seed: int = 7,
     trace: WorkloadTrace | None = None,
+    tracer_factory: Callable[[str], object] | None = None,
 ) -> SweepResult:
     """Replay one trace under each (system, paradigm) configuration.
 
     ``configurations`` maps a label to a zero-argument factory so each
     point gets fresh simulator state; the trace is generated once.
+
+    ``tracer_factory`` optionally maps each label to a fresh
+    :class:`repro.obs.Tracer` (or ``None``) so individual sweep points
+    can be traced; the caller keeps the tracers it hands out (see
+    ``repro sweep --trace-out``).
     """
     if trace is None:
         trace = workload.generate_trace(
@@ -70,7 +84,8 @@ def sweep(
     result = SweepResult(workload=workload.name)
     for label, factory in configurations.items():
         system, paradigm = factory()
-        metrics = system.run(trace, paradigm)
+        point_tracer = tracer_factory(label) if tracer_factory is not None else None
+        metrics = system.run(trace, paradigm, tracer=point_tracer)
         result.points.append(
             SweepPoint(
                 label=label, metrics=metrics, speedup=t1 / metrics.total_time_ns

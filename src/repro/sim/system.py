@@ -102,8 +102,17 @@ class MultiGPUSystem:
             barrier_ns=barrier_ns,
         )
 
-    def run(self, trace: WorkloadTrace, paradigm: Paradigm) -> RunMetrics:
-        """Replay ``trace`` under ``paradigm``; returns run metrics."""
+    def run(
+        self, trace: WorkloadTrace, paradigm: Paradigm, tracer=None
+    ) -> RunMetrics:
+        """Replay ``trace`` under ``paradigm``; returns run metrics.
+
+        ``tracer`` is an optional :class:`repro.obs.Tracer`: when given,
+        the run emits the full structured event stream (kernel spans,
+        message lifecycle, per-link serialization, remote-write-queue
+        activity, barriers) and -- by default -- checks runtime
+        invariants as it goes.  One tracer observes one run.
+        """
         if trace.n_gpus != self.n_gpus:
             raise ValueError(
                 f"trace is for {trace.n_gpus} GPUs, system has {self.n_gpus}"
@@ -111,7 +120,12 @@ class MultiGPUSystem:
         paradigm.attach(self.n_gpus, self.protocol)
         if self.topology is not None:
             self.topology.reset()
-        engine = Engine()
+        if tracer is not None:
+            if self.topology is not None:
+                self.topology.set_tracer(tracer)
+            for egress in getattr(paradigm, "engines", []):
+                egress.tracer = tracer
+        engine = Engine(tracer=tracer)
         depacketizers = [
             Depacketizer(
                 self.finepack_config,
@@ -130,6 +144,12 @@ class MultiGPUSystem:
                 p.gpu: t + self.gpus[p.gpu].kernel_time_ns(p.work)
                 for p in iteration.phases
             }
+            if tracer is not None:
+                releases = hasattr(paradigm, "engines")
+                for gpu in sorted(compute_end):
+                    tracer.kernel(gpu, t, compute_end[gpu], iteration=k)
+                    if releases:
+                        tracer.fence_release(gpu, compute_end[gpu])
             # Data produced in iteration k is consumed in iteration k+1;
             # the final iteration reuses its own read set as the
             # steady-state consumer.
@@ -153,6 +173,11 @@ class MultiGPUSystem:
 
             def inject(msg: WireMessage) -> None:
                 assert self.topology is not None
+                msg_id = (
+                    tracer.message_injected(msg, engine.now)
+                    if tracer is not None
+                    else None
+                )
                 delivered = self.topology.route(msg, engine.now)
                 if msg.kind is MessageKind.FINEPACK:
                     drained = depacketizers[msg.dst].admit(
@@ -164,6 +189,9 @@ class MultiGPUSystem:
                     ].hbm.drain_rate()
                 completions.append(drained)
                 metrics.packets.record(msg)
+                if msg_id is not None:
+                    tracer.message_delivered(msg_id, msg, delivered)
+                    tracer.message_drained(msg_id, msg, drained)
 
             for m in sorted(all_msgs, key=lambda m: m.issue_time):
                 engine.schedule(m.issue_time, inject, m)
@@ -201,6 +229,9 @@ class MultiGPUSystem:
                     )
                 )
 
+            if tracer is not None:
+                tracer.barrier(k, iteration_end - self.barrier_ns, iteration_end)
+                tracer.iteration(k, t, iteration_end)
             metrics.iteration_times_ns.append(iteration_end - t)
             t = iteration_end
 
@@ -210,4 +241,8 @@ class MultiGPUSystem:
                 f"{a}->{b}": stats.busy_time_ns / t
                 for (a, b), stats in self.topology.all_stats().items()
             }
+        if tracer is not None:
+            if self.topology is not None:
+                self.topology.set_tracer(None)
+            tracer.finish()
         return metrics

@@ -7,9 +7,11 @@ changed -- re-run the benches, review EXPERIMENTS.md, and re-pin
 deliberately if the change is intentional.
 """
 
+import io
+
 import pytest
 
-from repro.sim.runner import ExperimentConfig, compare_paradigms
+from repro.sim.runner import ExperimentConfig, compare_paradigms, run_workload
 from repro.workloads import WORKLOADS
 
 #: Captured with ExperimentConfig(iterations=2), seed 7.
@@ -78,3 +80,45 @@ def test_golden_metrics(name):
     assert fp.packets.mean_stores_per_packet == pytest.approx(
         golden["stores_per_packet"], rel=TOLERANCE
     )
+
+
+class TestDeterminism:
+    """Beyond matching golden numbers within tolerance, two runs of the
+    same (workload, seed, config) must agree exactly -- including the
+    full event stream the observability layer records."""
+
+    @staticmethod
+    def _traced_run():
+        from repro.obs import Tracer, write_chrome_trace
+
+        tracer = Tracer()
+        metrics = run_workload(
+            WORKLOADS["jacobi"](),
+            "finepack",
+            ExperimentConfig(n_gpus=4, iterations=2),
+            tracer=tracer,
+        )
+        export = io.StringIO()
+        write_chrome_trace(export, tracer)
+        return metrics, export.getvalue()
+
+    def test_repeated_runs_are_byte_identical(self):
+        m1, trace1 = self._traced_run()
+        m2, trace2 = self._traced_run()
+        assert trace1 == trace2, "Chrome-trace exports diverged between runs"
+        assert m1.summary() == m2.summary()
+        assert m1.total_time_ns == m2.total_time_ns
+        assert m1.wire_bytes == m2.wire_bytes
+
+    def test_tracing_does_not_perturb_metrics(self):
+        """A traced run and an untraced run report identical metrics --
+        observation must not change the physics."""
+        from repro.obs import Tracer
+
+        config = ExperimentConfig(n_gpus=2, iterations=2)
+        plain = run_workload(WORKLOADS["jacobi"](), "finepack", config)
+        traced = run_workload(
+            WORKLOADS["jacobi"](), "finepack", config, tracer=Tracer()
+        )
+        assert plain.summary() == traced.summary()
+        assert plain.total_time_ns == traced.total_time_ns

@@ -1,0 +1,75 @@
+"""Counter, gauge, histogram and registry unit tests."""
+
+import pytest
+
+from repro.obs import Counter, CounterRegistry, Gauge, Histogram
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_decrement_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.add(-4)
+        assert g.value == 6
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("sizes", bounds=(4, 8, 16))
+        for v in (1, 4, 5, 100):
+            h.observe(v)
+        assert h.total == 4
+        assert h.mean == pytest.approx((1 + 4 + 5 + 100) / 4)
+        assert h.nonzero_buckets() == {"<=4": 2, "<=8": 1, ">16": 1}
+
+    def test_empty_mean_zero(self):
+        assert Histogram("x").mean == 0.0
+
+    def test_default_bounds_power_of_two(self):
+        h = Histogram("x")
+        assert h.bounds[0] == 1
+        assert all(b == 1 << i for i, b in enumerate(h.bounds))
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("x", bounds=(8, 4))
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_object(self):
+        reg = CounterRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_sorted_scalars(self):
+        reg = CounterRegistry()
+        reg.counter("zeta").inc(3)
+        reg.counter("alpha").inc(1)
+        reg.gauge("mid").set(2)
+        snap = reg.snapshot()
+        assert snap == {"alpha": 1, "zeta": 3, "mid": 2}
+        # counters first (sorted), then gauges (sorted) -- stable order
+        # is what makes exports byte-deterministic.
+        assert list(snap) == ["alpha", "zeta", "mid"]
+
+    def test_histogram_summary(self):
+        reg = CounterRegistry()
+        reg.histogram("sz").observe(3)
+        summary = reg.histogram_summary()
+        assert summary["sz"]["total"] == 1
+        assert summary["sz"]["mean"] == 3
+        assert summary["sz"]["buckets"] == {"<=4": 1}

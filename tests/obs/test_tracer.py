@@ -1,0 +1,134 @@
+"""Tracer unit tests: event emission, counters, cadence sampling."""
+
+import pytest
+
+from repro.interconnect.message import MessageKind, WireMessage
+from repro.obs import EventKind, Tracer
+
+
+def msg(src=0, dst=1, payload=64, overhead=30, stores=4):
+    return WireMessage(
+        src=src,
+        dst=dst,
+        payload_bytes=payload,
+        overhead_bytes=overhead,
+        kind=MessageKind.FINEPACK,
+        stores_packed=stores,
+    )
+
+
+class TestMessageLifecycle:
+    def test_inject_deliver_drain(self):
+        t = Tracer(sample_every_ns=None)
+        m = msg()
+        mid = t.message_injected(m, 10.0)
+        t.message_delivered(mid, m, 20.0)
+        t.message_drained(mid, m, 25.0)
+        t.finish()
+        kinds = [e.kind for e in t.events]
+        assert kinds == [
+            EventKind.MSG_INJECTED,
+            EventKind.MSG_DELIVERED,
+            EventKind.MSG_DRAINED,
+        ]
+        assert t.events[0].track == "flow gpu0->gpu1"
+        assert t.events[0].attrs["msg_id"] == mid
+
+    def test_msg_ids_unique_and_sequential(self):
+        t = Tracer(sample_every_ns=None)
+        ids = [t.message_injected(msg(), float(i)) for i in range(5)]
+        assert ids == list(range(5))
+
+    def test_counters_track_bytes(self):
+        t = Tracer(sample_every_ns=None)
+        m = msg(payload=100, overhead=28)
+        mid = t.message_injected(m, 0.0)
+        snap = t.counters.snapshot()
+        assert snap["payload_bytes_injected"] == 100
+        assert snap["wire_bytes_injected"] == 128
+        assert snap["payload_bytes_in_flight"] == 100
+        t.message_delivered(mid, m, 1.0)
+        snap = t.counters.snapshot()
+        assert snap["payload_bytes_delivered"] == 100
+        assert snap["payload_bytes_in_flight"] == 0
+
+    def test_histograms_observe_packets(self):
+        t = Tracer(sample_every_ns=None)
+        t.message_injected(msg(payload=60, overhead=4, stores=7), 0.0)
+        h = t.counters.histograms["stores_per_packet"]
+        assert h.total == 1 and h.sum == 7
+
+
+class TestSampling:
+    def test_cadence_emits_counter_samples(self):
+        t = Tracer(sample_every_ns=100.0, check_invariants=False)
+        for i in range(4):
+            t.message_injected(msg(), 90.0 + i * 100.0)
+        samples = [e for e in t.events if e.kind is EventKind.COUNTER_SAMPLE]
+        assert len(samples) == 3  # crossings at 100, 200, 300
+        assert all(e.track == "counters" for e in samples)
+        # samples carry the registry snapshot at the crossing
+        assert samples[0].attrs["messages_injected"] == 2
+
+    def test_big_jump_emits_single_sample(self):
+        t = Tracer(sample_every_ns=10.0, check_invariants=False)
+        t.message_injected(msg(), 5.0)
+        t.message_injected(msg(), 1_000.0)
+        samples = [e for e in t.events if e.kind is EventKind.COUNTER_SAMPLE]
+        assert len(samples) == 1
+
+    def test_sampling_disabled(self):
+        t = Tracer(sample_every_ns=None, check_invariants=False)
+        t.message_injected(msg(), 1e9)
+        assert all(e.kind is not EventKind.COUNTER_SAMPLE for e in t.events)
+
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every_ns=0)
+
+    def test_finish_emits_final_sample_once(self):
+        t = Tracer(sample_every_ns=1e6, check_invariants=False)
+        t.message_injected(msg(), 3.0)
+        t.finish()
+        t.finish()  # idempotent
+        samples = [e for e in t.events if e.kind is EventKind.COUNTER_SAMPLE]
+        assert len(samples) == 1
+
+
+class TestSpansAndStructure:
+    def test_kernel_and_barrier_spans(self):
+        t = Tracer(sample_every_ns=None, check_invariants=False)
+        t.kernel(2, 0.0, 50.0, iteration=0)
+        t.barrier(0, 60.0, 62.0)
+        t.iteration(0, 0.0, 62.0)
+        kernel, barrier, iteration = t.events
+        assert kernel.track == "gpu2" and kernel.dur_ns == 50.0
+        assert barrier.attrs == {"iteration": 0}
+        assert iteration.end_ns == 62.0
+
+    def test_rwq_pending_gauge_tracks_occupancy(self):
+        t = Tracer(sample_every_ns=None, check_invariants=False)
+        t.rwq_enqueue(0, 1, addr=0x100, size=4, time_ns=0.0, pending_entries=1)
+        t.rwq_enqueue(0, 1, addr=0x200, size=4, time_ns=1.0, pending_entries=2)
+        t.rwq_enqueue(0, 2, addr=0x300, size=4, time_ns=2.0, pending_entries=1)
+        assert t.counters.gauges["rwq_pending_entries"].value == 3
+
+    def test_subscriber_sees_every_event(self):
+        t = Tracer(sample_every_ns=None, check_invariants=False)
+        seen = []
+        t.subscribe(seen.append)
+        t.fence_release(0, 1.0)
+        t.kernel(0, 0.0, 1.0, iteration=0)
+        assert [e.kind for e in seen] == [EventKind.FENCE_RELEASE, EventKind.KERNEL]
+
+    def test_summary_rollup(self):
+        t = Tracer(sample_every_ns=None)
+        m = msg()
+        mid = t.message_injected(m, 5.0)
+        t.message_delivered(mid, m, 9.0)
+        t.message_drained(mid, m, 9.5)
+        s = t.summary()
+        assert s["events"] == 3
+        assert s["max_time_ns"] == 9.5
+        assert s["counters"]["messages_injected"] == 1
+        assert "packet_wire_bytes" in s["histograms"]

@@ -103,3 +103,47 @@ class TestSweep:
 
         with pytest.raises(ValueError):
             SweepResult(workload="x").best()
+
+    def test_best_breaks_ties_by_label(self):
+        """Exact speedup ties must resolve deterministically by label,
+        not by the insertion order of the configurations dict."""
+        from repro.sim.sweep import SweepPoint, SweepResult
+
+        def point(label, speedup):
+            return SweepPoint(
+                label=label,
+                metrics=RunMetrics(workload="x", paradigm="y", n_gpus=2),
+                speedup=speedup,
+            )
+
+        # Adversarial insertion order: the tied winners arrive with the
+        # lexicographically larger label first.
+        result = SweepResult(
+            workload="x",
+            points=[point("zeta", 2.0), point("alpha", 2.0), point("mid", 1.5)],
+        )
+        assert result.best().label == "alpha"
+        reversed_result = SweepResult(
+            workload="x", points=list(reversed(result.points))
+        )
+        assert reversed_result.best().label == "alpha"
+
+    def test_best_prefers_higher_speedup_over_label(self):
+        from repro.sim.sweep import SweepPoint, SweepResult
+
+        result = SweepResult(
+            workload="x",
+            points=[
+                SweepPoint(
+                    label="aaa",
+                    metrics=RunMetrics(workload="x", paradigm="y", n_gpus=2),
+                    speedup=1.0,
+                ),
+                SweepPoint(
+                    label="zzz",
+                    metrics=RunMetrics(workload="x", paradigm="y", n_gpus=2),
+                    speedup=3.0,
+                ),
+            ],
+        )
+        assert result.best().label == "zzz"

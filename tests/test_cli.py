@@ -84,6 +84,63 @@ class TestTimelineFlag:
         assert "egress link utilization" in text
 
 
+class TestTraceOut:
+    def test_run_emits_valid_chrome_trace(self, tmp_path):
+        """The acceptance command: ``repro run --workload jacobi --gpus 4
+        --trace-out FILE`` must emit valid traceEvents JSON."""
+        from repro.obs import validate_chrome_trace_file
+
+        path = tmp_path / "t.json"
+        text = run_cli(
+            "run", "--workload", "jacobi", "--gpus", "4", "--iterations", "1",
+            "--trace-out", str(path),
+        )
+        assert "per-link timeline" in text
+        assert f"wrote {path}" in text
+        obj = validate_chrome_trace_file(str(path))
+        assert obj["traceEvents"]
+        assert obj["metadata"]["gpus"] == 4
+
+    def test_run_positional_workload_with_trace_out(self, tmp_path):
+        from repro.obs import validate_chrome_trace_file
+
+        path = tmp_path / "t.json"
+        run_cli(
+            "run", "jacobi", "finepack", "--gpus", "2", "--iterations", "1",
+            "--trace-out", str(path),
+        )
+        validate_chrome_trace_file(str(path))
+
+    def test_run_jsonl_extension_switches_format(self, tmp_path):
+        from repro.obs import InvariantChecker, read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        run_cli(
+            "run", "jacobi", "finepack", "--gpus", "2", "--iterations", "1",
+            "--trace-out", str(path),
+        )
+        events = read_jsonl(str(path))
+        assert events
+        InvariantChecker.replay(events)  # recorded stream replays cleanly
+
+    def test_run_requires_some_workload(self):
+        with pytest.raises(SystemExit):
+            run_cli("run")
+
+    def test_sweep_merges_points_into_one_trace(self, tmp_path):
+        from repro.obs import validate_chrome_trace_file
+
+        path = tmp_path / "sweep.json"
+        text = run_cli(
+            "sweep", "jacobi", "subheader", "--gpus", "2", "--iterations", "1",
+            "--trace-out", str(path),
+        )
+        assert "sweep points" in text
+        obj = validate_chrome_trace_file(str(path))
+        assert {e["pid"] for e in obj["traceEvents"]} == {0, 1, 2, 3, 4}
+        assert set(obj["metadata"]["runs"]) == {"2B", "3B", "4B", "5B", "6B"}
+
+
 class TestSweep:
     def test_subheader_sweep(self):
         text = run_cli(
