@@ -3,7 +3,12 @@
 
 from .breakdown import breakdown_rows, data_reduction_factors, wasted_fraction
 from .goodput import FIG2_SIZES, GoodputPoint, efficiency_ratio, goodput_curve
-from .report import format_link_timeline, format_speedup_table, format_table
+from .report import (
+    format_link_stats_table,
+    format_link_timeline,
+    format_speedup_table,
+    format_table,
+)
 
 __all__ = [
     "breakdown_rows",
@@ -13,6 +18,7 @@ __all__ = [
     "GoodputPoint",
     "efficiency_ratio",
     "goodput_curve",
+    "format_link_stats_table",
     "format_link_timeline",
     "format_speedup_table",
     "format_table",

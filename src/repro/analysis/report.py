@@ -69,6 +69,54 @@ def format_link_timeline(tracer, title: str = "per-link timeline") -> str:
     )
 
 
+def format_link_stats_table(
+    metrics, title: str = "per-link fabric stats"
+) -> str:
+    """Per-link traffic and fault counters from one run's metrics.
+
+    Renders :attr:`RunMetrics.link_stats` (populated by every
+    :meth:`MultiGPUSystem.run`) as one row per link direction, with the
+    DLL-replay and retransmit attribution columns the fault subsystem
+    maintains.  Appends a warning when any link hit the replay cap
+    (``replay_saturations``): the analytic replay model under-counts
+    wire bytes past that point, so the affected link's numbers are a
+    lower bound.
+    """
+    rows = []
+    for link, s in sorted(metrics.link_stats.items()):
+        rows.append(
+            [
+                link,
+                int(s["messages"]),
+                int(s["wire_bytes"]),
+                s["utilization"],
+                int(s["replays"]),
+                int(s["replay_bytes"]),
+                int(s["retransmits"]),
+                s["fault_stall_ns"] / 1e3,
+            ]
+        )
+    table = format_table(
+        title,
+        ["link", "msgs", "wire_B", "util", "replays", "replay_B",
+         "rtx", "stall_us"],
+        rows,
+        float_fmt="{:.3f}",
+    )
+    saturated = {
+        link: int(s["replay_saturations"])
+        for link, s in sorted(metrics.link_stats.items())
+        if s["replay_saturations"]
+    }
+    if saturated:
+        detail = ", ".join(f"{link} x{n}" for link, n in saturated.items())
+        table += (
+            "\nWARNING: replay cap (8) saturated on: "
+            f"{detail} -- replay byte counts are a lower bound"
+        )
+    return table
+
+
 def format_speedup_table(title: str, speedups: dict[str, dict[str, float]]) -> str:
     """Workload-by-paradigm speedup matrix (Figure 9 layout)."""
     paradigms = sorted({p for row in speedups.values() for p in row})

@@ -16,6 +16,14 @@ Commands
     Replay a saved trace under a paradigm.
 ``goodput``
     Print the Figure 2 goodput table.
+``chaos``
+    Sweep a fault scenario's intensity across paradigms and print the
+    degradation curve (see :mod:`repro.faults`).
+
+``run``, ``compare`` and ``sweep`` accept ``--error-rate P`` to give
+every link a baseline per-byte corruption probability (DLL replay
+injection); nonzero fault activity adds a per-link fabric-stats table
+to ``run`` output.
 
 ``run`` and ``sweep`` accept ``--trace-out FILE`` to record the run's
 structured event stream (``repro.obs``) and export it -- as Chrome
@@ -32,7 +40,7 @@ import sys
 from typing import Sequence
 
 from .analysis import format_table, goodput_curve
-from .core.config import FinePackConfig
+from .core.config import FabricConfig, FinePackConfig
 from .interconnect.pcie import GENERATIONS
 from .sim.metrics import RunMetrics
 from .sim.paradigms import PARADIGMS, FinePackParadigm, make_paradigm
@@ -61,6 +69,14 @@ def _add_system_args(p: argparse.ArgumentParser) -> None:
         default=5,
         help="FinePack sub-header size, 2-6 (default 5)",
     )
+    p.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-byte corruption probability on every link; corrupted "
+        "packets pay DLL replays (default 0)",
+    )
 
 
 def _add_trace_args(p: argparse.ArgumentParser) -> None:
@@ -74,12 +90,15 @@ def _add_trace_args(p: argparse.ArgumentParser) -> None:
 
 
 def _trace_metadata(args: argparse.Namespace) -> dict:
-    return {
+    meta = {
         "gpus": args.gpus,
         "iterations": args.iterations,
         "seed": args.seed,
         "generation": args.gen,
     }
+    if getattr(args, "error_rate", 0.0):
+        meta["error_rate"] = args.error_rate
+    return meta
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -89,6 +108,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         generation=GENERATIONS[args.gen],
         finepack_config=FinePackConfig(subheader_bytes=args.subheader_bytes),
+        fabric=FabricConfig(error_rate=args.error_rate),
     )
 
 
@@ -130,6 +150,10 @@ def cmd_run(args, out) -> int:
         _workload(workload_name), args.paradigm, _config(args), tracer=tracer
     )
     _print_metrics(metrics, out)
+    if metrics.faults.any:
+        from .analysis import format_link_stats_table
+
+        print(format_link_stats_table(metrics), file=out)
     if args.timeline:
         from .sim.timeline import render_timeline
 
@@ -170,6 +194,7 @@ def cmd_sweep(args, out) -> int:
                         n_gpus=args.gpus,
                         generation=GENERATIONS[args.gen],
                         finepack_config=cfg,
+                        error_rate=args.error_rate,
                     ),
                     FinePackParadigm(cfg),
                 )
@@ -181,7 +206,11 @@ def cmd_sweep(args, out) -> int:
         def gen_factory(g):
             def make():
                 return (
-                    MultiGPUSystem.build(n_gpus=args.gpus, generation=GENERATIONS[g]),
+                    MultiGPUSystem.build(
+                        n_gpus=args.gpus,
+                        generation=GENERATIONS[g],
+                        error_rate=args.error_rate,
+                    ),
                     make_paradigm(args.paradigm),
                 )
 
@@ -303,6 +332,65 @@ def cmd_validate(args, out) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_chaos(args, out) -> int:
+    from .faults import chaos_sweep, format_chaos_table, list_scenarios, load_scenario
+
+    if args.list:
+        from .faults.scenarios import SCENARIOS
+
+        rows = [
+            [name, SCENARIOS[name].get("description", "")]
+            for name in list_scenarios()
+        ]
+        print(format_table("chaos scenarios", ["name", "description"], rows), file=out)
+        return 0
+    if args.workload is None:
+        raise SystemExit("chaos: name a workload (or use --list)")
+    schedule = load_scenario(args.scenario)
+    tracers: dict[str, object] = {}
+    tracer_factory = None
+    if args.trace_out:
+        from .obs import Tracer
+
+        def tracer_factory(label: str):
+            tracers[label] = Tracer()
+            return tracers[label]
+
+    result = chaos_sweep(
+        _workload(args.workload),
+        schedule,
+        intensities=tuple(args.intensities),
+        paradigms=tuple(args.paradigms),
+        config=_config(args),
+        topology_kind=args.topology,
+        tracer_factory=tracer_factory,
+    )
+    print(format_chaos_table(result), file=out)
+    degraded = [p for p in result.points if p.degraded]
+    if degraded:
+        print(
+            f"{len(degraded)} run(s) degraded gracefully "
+            f"(partial metrics above); first reason: {degraded[0].reasons[0]}",
+            file=out,
+        )
+    if args.json:
+        result.write_json(args.json)
+        print(f"wrote {args.json}", file=out)
+    if tracers:
+        from .obs import write_chrome_trace
+
+        meta = _trace_metadata(args)
+        meta["scenario"] = schedule.name
+        write_chrome_trace(args.trace_out, tracers, metadata=meta)
+        total_events = sum(len(t.events) for t in tracers.values())
+        print(
+            f"wrote {args.trace_out}: {len(tracers)} chaos points, "
+            f"{total_events} events, invariants OK",
+            file=out,
+        )
+    return 0
+
+
 def cmd_goodput(args, out) -> int:
     rows = [
         [p.size, p.pcie, p.nvlink, "measured" if p.measured else "projected"]
@@ -389,6 +477,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paradigm", choices=sorted(PARADIGMS))
     _add_system_args(p)
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "chaos", help="sweep fault-scenario intensity across paradigms"
+    )
+    p.add_argument("workload", nargs="?", default=None)
+    p.add_argument(
+        "--scenario",
+        default="flaky-retimer",
+        help="preset name or scenario JSON file (default flaky-retimer; "
+        "see --list)",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list preset scenarios and exit"
+    )
+    p.add_argument(
+        "--paradigms",
+        nargs="+",
+        default=["p2p", "dma", "finepack"],
+        choices=sorted(PARADIGMS),
+    )
+    p.add_argument(
+        "--intensities",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.25, 0.5, 0.75, 1.0],
+        help="fault intensity ladder (default 0 0.25 0.5 0.75 1)",
+    )
+    p.add_argument(
+        "--topology",
+        default=None,
+        choices=("single_switch", "two_level", "fully_connected"),
+        help="override the scenario's topology hint",
+    )
+    p.add_argument(
+        "--json", default=None, metavar="FILE", help="write the sweep as JSON"
+    )
+    _add_system_args(p)
+    _add_trace_args(p)
+    p.set_defaults(fn=cmd_chaos)
 
     sub.add_parser("goodput", help="print the Fig. 2 goodput table").set_defaults(
         fn=cmd_goodput

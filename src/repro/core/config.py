@@ -134,5 +134,45 @@ class FinePackConfig:
         return (n_gpus - 1) * self.partition_data_bytes
 
 
+@dataclass(frozen=True, slots=True)
+class FabricConfig:
+    """Interconnect-health parameters of one deployment.
+
+    Complements :class:`FinePackConfig` (which describes the packing
+    hardware) with the fabric-reliability knobs the fault subsystem and
+    the ``--error-rate`` CLI plumbing use.
+
+    Attributes
+    ----------
+    error_rate:
+        Baseline per-byte corruption probability on every link (DLL
+        replay injection); 0 disables it.  Scenario ``crc_burst``
+        windows add on top of this.
+    retry_timeout_ns:
+        End-to-end retransmit timeout for packets lost to link outages;
+        doubles on every attempt (exponential backoff).
+    max_retries:
+        Retransmit attempts before a sender gives up on a link and the
+        message escalates to rerouting.
+    """
+
+    error_rate: float = 0.0
+    retry_timeout_ns: float = 1_000.0
+    max_retries: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError(f"error_rate must be in [0, 1): {self.error_rate}")
+        if self.retry_timeout_ns <= 0:
+            raise ValueError(
+                f"retry_timeout_ns must be positive: {self.retry_timeout_ns}"
+            )
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1: {self.max_retries}")
+
+
 #: The evaluation configuration of the paper (Table III).
 DEFAULT_CONFIG = FinePackConfig()
+
+#: A healthy fabric: no injected errors.
+DEFAULT_FABRIC = FabricConfig()

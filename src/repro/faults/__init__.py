@@ -1,0 +1,88 @@
+"""Fault injection and resilience: scripted link faults, graceful
+degradation, and chaos sweeps.
+
+The subsystem splits into policy and mechanism:
+
+* :class:`FaultSchedule` (:mod:`repro.faults.schedule`) -- declarative,
+  validated scenarios of typed, time-windowed fault events, parsed from
+  dicts/JSON: :class:`LinkDegrade`, :class:`LinkFlap`,
+  :class:`LinkFail`, :class:`CrcBurst`, :class:`DrainSlowdown`,
+  :class:`CreditLeak`.
+* :class:`FaultInjector` (:mod:`repro.faults.injector`) -- compiles a
+  schedule onto a live topology's links and credit pools as runtime
+  :mod:`repro.faults.state` objects the interconnect consults.
+* Resilience -- faulted links retransmit with exponential backoff,
+  topologies reroute around dead links, and runs that lose all paths
+  raise :class:`DegradedRunError` carrying partial metrics instead of
+  hanging.
+* :func:`chaos_sweep` (:mod:`repro.faults.chaos`) -- sweeps a scenario's
+  intensity across paradigms and reports the degradation curve (the
+  ``repro chaos`` CLI).
+
+Usage::
+
+    from repro.faults import FaultInjector, load_scenario
+    from repro.sim.system import MultiGPUSystem
+
+    schedule = load_scenario("flaky-retimer")
+    system = MultiGPUSystem.build(n_gpus=4, with_credits=True,
+                                  fault_injector=FaultInjector(schedule))
+    metrics = system.run(trace, paradigm)   # may raise DegradedRunError
+    print(metrics.faults.as_dict())
+
+See ``docs/faults.md`` for the scenario schema and semantics.
+"""
+
+from .chaos import ChaosPoint, ChaosResult, chaos_sweep, format_chaos_table
+from .errors import DegradedRunError, ScenarioError
+from .injector import FaultInjector
+from .scenarios import SCENARIOS, list_scenarios, load_scenario
+from .schedule import (
+    FAULT_TYPES,
+    CrcBurst,
+    CreditLeak,
+    DrainSlowdown,
+    FaultEvent,
+    FaultSchedule,
+    LinkDegrade,
+    LinkFail,
+    LinkFlap,
+)
+from .state import (
+    FOREVER,
+    FaultError,
+    LinkDownError,
+    LinkFaultState,
+    PoolFaultState,
+    RouteBlockedError,
+    Window,
+)
+
+__all__ = [
+    "ChaosPoint",
+    "ChaosResult",
+    "chaos_sweep",
+    "format_chaos_table",
+    "DegradedRunError",
+    "ScenarioError",
+    "FaultInjector",
+    "SCENARIOS",
+    "list_scenarios",
+    "load_scenario",
+    "FAULT_TYPES",
+    "CrcBurst",
+    "CreditLeak",
+    "DrainSlowdown",
+    "FaultEvent",
+    "FaultSchedule",
+    "LinkDegrade",
+    "LinkFail",
+    "LinkFlap",
+    "FOREVER",
+    "FaultError",
+    "LinkDownError",
+    "LinkFaultState",
+    "PoolFaultState",
+    "RouteBlockedError",
+    "Window",
+]

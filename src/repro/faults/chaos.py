@@ -1,0 +1,215 @@
+"""Chaos sweeps: degradation curves under scaled fault intensity.
+
+:func:`chaos_sweep` replays one workload under every paradigm at a
+ladder of fault intensities (``schedule.scaled(i)`` for each point),
+measuring how much each communication paradigm's advantage survives a
+noisy fabric -- the fault-injection analogue of the paper's Figure 9.
+Runs that degrade past the point of completion
+(:class:`~repro.faults.errors.DegradedRunError`) are reported as
+``DEGRADED`` rows carrying their partial metrics rather than aborting
+the sweep.
+
+Simulation modules are imported lazily so ``repro.faults`` stays
+importable from the interconnect layer without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Sequence
+
+from .errors import DegradedRunError
+from .injector import FaultInjector
+from .schedule import FaultSchedule
+
+#: Default intensity ladder for degradation curves.
+DEFAULT_INTENSITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Paradigms swept by default (the paper's Figure 9 set minus the
+#: idealized infinite-bandwidth baseline).
+DEFAULT_PARADIGMS = ("p2p", "dma", "finepack")
+
+
+@dataclass
+class ChaosPoint:
+    """One (intensity, paradigm) cell of a chaos sweep."""
+
+    intensity: float
+    paradigm: str
+    metrics: object  # RunMetrics (partial when degraded)
+    degraded: bool = False
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def time_ms(self) -> float:
+        return self.metrics.total_time_ns / 1e6
+
+    def as_dict(self) -> dict:
+        out = {
+            "intensity": self.intensity,
+            "paradigm": self.paradigm,
+            "degraded": self.degraded,
+            "time_ms": self.time_ms,
+            "goodput": self.metrics.goodput,
+            **self.metrics.faults.as_dict(),
+        }
+        if self.reasons:
+            out["reasons"] = list(self.reasons)
+        return out
+
+
+@dataclass
+class ChaosResult:
+    """A full sweep: scenario identity plus every measured point."""
+
+    scenario: str
+    workload: str
+    points: list[ChaosPoint] = field(default_factory=list)
+
+    def baseline(self, paradigm: str) -> ChaosPoint | None:
+        """The intensity-0 (fault-free) point for one paradigm."""
+        for p in self.points:
+            if p.paradigm == paradigm and p.intensity == 0.0:
+                return p
+        return None
+
+    def slowdown(self, point: ChaosPoint) -> float | None:
+        """Run time of ``point`` relative to its fault-free baseline."""
+        base = self.baseline(point.paradigm)
+        if base is None or base.metrics.total_time_ns == 0:
+            return None
+        return point.metrics.total_time_ns / base.metrics.total_time_ns
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "workload": self.workload,
+            "points": [
+                {**p.as_dict(), "slowdown": self.slowdown(p)} for p in self.points
+            ],
+        }
+
+    def write_json(self, path_or_file: str | IO[str]) -> None:
+        obj = self.as_dict()
+        if hasattr(path_or_file, "write"):
+            json.dump(obj, path_or_file, indent=2)
+        else:
+            with open(path_or_file, "w") as f:
+                json.dump(obj, f, indent=2)
+
+
+def chaos_sweep(
+    workload,
+    schedule: FaultSchedule,
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    paradigms: Sequence[str] = DEFAULT_PARADIGMS,
+    config=None,
+    topology_kind: str | None = None,
+    tracer_factory=None,
+) -> ChaosResult:
+    """Sweep ``schedule`` intensity over ``paradigms`` for one workload.
+
+    Parameters
+    ----------
+    workload:
+        A workload object (``generate_trace`` provider).
+    schedule:
+        The scenario; each sweep point runs ``schedule.scaled(i)``.
+    config:
+        Optional :class:`~repro.sim.runner.ExperimentConfig`; its
+        fabric settings seed the injector's retransmit parameters.
+    topology_kind:
+        Overrides the scenario's topology hint (default: the scenario's
+        hint, else ``single_switch``).
+    tracer_factory:
+        Optional ``label -> Tracer`` callable; when given, every run is
+        traced (and invariant-checked) under label
+        ``"i{intensity}/{paradigm}"``.
+
+    The trace is generated once and shared by all points, so the sweep
+    isolates fabric behavior exactly like the paper's paradigm
+    comparisons.
+    """
+    from ..sim.runner import ExperimentConfig, _paradigm_instance
+    from ..sim.system import MultiGPUSystem
+
+    config = config or ExperimentConfig()
+    kind = topology_kind or schedule.topology or "single_switch"
+    trace = workload.generate_trace(
+        n_gpus=config.n_gpus, iterations=config.iterations, seed=config.seed
+    )
+    result = ChaosResult(scenario=schedule.name, workload=trace.name)
+    for intensity in intensities:
+        scaled = schedule.scaled(intensity)
+        injector = (
+            FaultInjector(
+                scaled,
+                retry_timeout_ns=config.fabric.retry_timeout_ns,
+                max_retries=config.fabric.max_retries,
+            )
+            if len(scaled)
+            else None
+        )
+        for name in paradigms:
+            system = MultiGPUSystem.build(
+                n_gpus=config.n_gpus,
+                generation=config.generation,
+                compute=config.compute,
+                finepack_config=config.finepack_config,
+                barrier_ns=config.barrier_ns,
+                topology_kind=kind,
+                with_credits=schedule.with_credits,
+                error_rate=config.fabric.error_rate,
+                fault_injector=injector,
+            )
+            paradigm = _paradigm_instance(name, config)
+            tracer = (
+                tracer_factory(f"i{intensity:g}/{name}")
+                if tracer_factory is not None
+                else None
+            )
+            try:
+                metrics = system.run(trace, paradigm, tracer=tracer)
+                point = ChaosPoint(intensity, paradigm.name, metrics)
+            except DegradedRunError as exc:
+                point = ChaosPoint(
+                    intensity,
+                    paradigm.name,
+                    exc.metrics,
+                    degraded=True,
+                    reasons=exc.reasons,
+                )
+            result.points.append(point)
+    return result
+
+
+def format_chaos_table(result: ChaosResult) -> str:
+    """The degradation table ``repro chaos`` prints."""
+    from ..analysis.report import format_table
+
+    rows = []
+    for p in result.points:
+        slowdown = result.slowdown(p)
+        f = p.metrics.faults
+        rows.append(
+            [
+                f"{p.intensity:g}",
+                p.paradigm,
+                "DEGRADED" if p.degraded else "ok",
+                p.time_ms,
+                "-" if slowdown is None else f"{slowdown:.2f}x",
+                round(p.metrics.goodput, 4),
+                f.replays,
+                f.retransmits,
+                f.rerouted_messages,
+                f.dropped_messages,
+            ]
+        )
+    return format_table(
+        f"chaos: {result.workload} under '{result.scenario}'",
+        ["intensity", "paradigm", "status", "time_ms", "slowdown",
+         "goodput", "replays", "rtx", "rerouted", "dropped"],
+        rows,
+        float_fmt="{:.3f}",
+    )

@@ -1,0 +1,36 @@
+"""User-facing fault subsystem exceptions."""
+
+from __future__ import annotations
+
+from .state import FaultError
+
+
+class ScenarioError(ValueError):
+    """A fault scenario dict/JSON is malformed."""
+
+
+class DegradedRunError(FaultError):
+    """A run could not complete because the fabric degraded too far.
+
+    Raised by :meth:`~repro.sim.system.MultiGPUSystem.run` when a
+    message's destination became unreachable (a permanent link failure
+    with no alternate path).  The simulation does **not** hang: the
+    iteration in which degradation was detected finishes draining (the
+    blocked messages are dropped and accounted), then this error is
+    raised carrying the partial :class:`~repro.sim.metrics.RunMetrics`
+    accumulated so far.
+
+    Attributes
+    ----------
+    metrics:
+        Partial run metrics through the degraded iteration (fault
+        accounting included), or ``None`` if nothing completed.
+    reasons:
+        The route-blocked failures that triggered degradation.
+    """
+
+    def __init__(self, message: str, metrics=None, reasons: tuple[str, ...] = ()) -> None:
+        self.metrics = metrics
+        self.reasons = reasons
+        detail = f" ({'; '.join(reasons)})" if reasons else ""
+        super().__init__(message + detail)

@@ -1,0 +1,121 @@
+"""Compiles a :class:`FaultSchedule` onto a live topology.
+
+The :class:`FaultInjector` is the bridge between declarative scenarios
+and the runtime fault state the interconnect consults: ``arm()``
+resolves each event's link pattern against the topology's concrete
+links, builds one :class:`~repro.faults.state.LinkFaultState` (and
+:class:`~repro.faults.state.PoolFaultState`) per affected component,
+and -- when the run is traced -- declares every armed fault as a
+``fault_injected`` event so the invariant checker knows drops may
+legitimately occur.
+
+Arming is idempotent and survives ``Topology.reset()``: the system
+re-arms at the start of every run, so repeated runs over the same
+schedule are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .schedule import (
+    CrcBurst,
+    CreditLeak,
+    DrainSlowdown,
+    FaultSchedule,
+    LinkDegrade,
+    LinkFail,
+    LinkFlap,
+)
+from .state import FOREVER, LinkFaultState, PoolFaultState, Window
+
+
+@dataclass
+class FaultInjector:
+    """Arms a schedule's faults onto links and credit pools.
+
+    Parameters
+    ----------
+    schedule:
+        The scenario to inject.
+    retry_timeout_ns, max_retries:
+        End-to-end retransmit parameters shared by every armed link
+        (see :class:`~repro.core.config.FabricConfig`).
+    """
+
+    schedule: FaultSchedule
+    retry_timeout_ns: float = 1_000.0
+    max_retries: int = 10
+    #: Links armed by the last :meth:`arm` call (for tests/reports).
+    armed_links: list[str] = field(default_factory=list, repr=False)
+
+    def compile_link_state(self, link_name: str) -> LinkFaultState | None:
+        """The runtime fault state for one link name (``None`` if clean)."""
+        degrade: list[Window] = []
+        down: list[Window] = []
+        crc: list[Window] = []
+        for f in self.schedule.for_link(link_name):
+            if isinstance(f, LinkDegrade):
+                degrade.append(Window(f.start_ns, f.end_ns, f.factor))
+            elif isinstance(f, LinkFlap):
+                down.append(Window(f.start_ns, f.end_ns))
+            elif isinstance(f, LinkFail):
+                down.append(Window(f.start_ns, FOREVER))
+            elif isinstance(f, CrcBurst):
+                crc.append(Window(f.start_ns, f.end_ns, f.error_rate))
+        if not (degrade or down or crc):
+            return None
+        return LinkFaultState(
+            degrade=tuple(degrade),
+            down=tuple(down),
+            crc=tuple(crc),
+            retry_timeout_ns=self.retry_timeout_ns,
+            max_retries=self.max_retries,
+        )
+
+    def compile_pool_state(self, link_name: str) -> PoolFaultState | None:
+        """The runtime fault state for one link's credit pool."""
+        drain: list[Window] = []
+        leak: list[Window] = []
+        for f in self.schedule.for_link(link_name):
+            if isinstance(f, DrainSlowdown):
+                drain.append(Window(f.start_ns, f.end_ns, f.factor))
+            elif isinstance(f, CreditLeak):
+                leak.append(Window(f.start_ns, f.end_ns, f.leak_bytes))
+        if not (drain or leak):
+            return None
+        return PoolFaultState(drain=tuple(drain), leak=tuple(leak))
+
+    def arm(self, topology, tracer=None) -> None:
+        """Attach fault state to every matching link of ``topology``.
+
+        Call after ``topology.reset()``; re-arming replaces any earlier
+        state so back-to-back runs start identical.  With a ``tracer``,
+        every armed fault is declared via ``fault_injected`` events.
+        """
+        self.armed_links = []
+        for link in topology.links.values():
+            state = self.compile_link_state(link.name)
+            link.arm_faults(state)
+            pool_state = None
+            if link.credits is not None:
+                pool_state = self.compile_pool_state(link.name)
+                link.credits.fault_state = pool_state
+            if state is not None or pool_state is not None:
+                self.armed_links.append(link.name)
+        topology.rebuild_fault_cache()
+        if tracer is not None:
+            for f in self.schedule:
+                matched = [n for n in self.armed_links if f.matches(n)]
+                tracer.fault_injected(
+                    f.kind, f.link, f.start_ns, f.end_ns, links=matched
+                )
+
+    def disarm(self, topology) -> None:
+        """Detach all fault state (links become clean again)."""
+        for link in topology.links.values():
+            link.arm_faults(None)
+            if link.credits is not None:
+                link.credits.fault_state = None
+        topology.rebuild_fault_cache()
+        self.armed_links = []

@@ -1,0 +1,344 @@
+"""Declarative fault scenarios: typed, time-windowed fault events.
+
+A :class:`FaultSchedule` is the *policy* half of the fault subsystem: a
+validated, immutable list of fault events parsed from a plain dict (or
+JSON file) describing *what* goes wrong on the fabric and *when*.  The
+:class:`~repro.faults.injector.FaultInjector` compiles a schedule into
+per-link runtime state (:mod:`repro.faults.state`) when a simulation
+starts.
+
+Scenario schema
+---------------
+
+.. code-block:: json
+
+    {
+      "name": "flaky-retimer",
+      "description": "one GPU uplink flaps and suffers CRC bursts",
+      "topology": "single_switch",
+      "with_credits": true,
+      "faults": [
+        {"type": "link_flap", "link": "gpu0->sw0",
+         "start_ns": 100000, "end_ns": 220000},
+        {"type": "crc_burst", "link": "gpu0->sw0",
+         "start_ns": 0, "end_ns": 1000000, "error_rate": 2e-5}
+      ]
+    }
+
+``link`` is an ``fnmatch`` pattern over link names (``"gpu0->sw0"``,
+``"*->sw0"``, ``"*"``).  ``topology`` / ``with_credits`` are optional
+hints the chaos CLI uses to build a system the scenario is meaningful
+on (e.g. ``link_fail`` scenarios need a topology with an alternate
+path to demonstrate rerouting).
+
+Fault types
+-----------
+
+==================  =============================================================
+``link_degrade``    bandwidth x ``factor`` during the window (lane retraining)
+``link_flap``       link down during the window; senders retransmit with backoff
+``link_fail``       link permanently down from ``start_ns``
+``crc_burst``       per-byte corruption probability +``error_rate`` in the window
+``drain_slowdown``  receiver drain rate x ``factor``: credits return slowly
+``credit_leak``     ``leak_bytes`` of receiver buffer vanish during the window
+==================  =============================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, replace
+from fnmatch import fnmatch
+from typing import Iterator
+
+from .errors import ScenarioError
+from .state import FOREVER, Window
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """Base class: one scheduled fault on links matching ``link``."""
+
+    link: str
+    start_ns: float
+
+    #: JSON ``type`` tag; set by each concrete subclass.
+    kind = "fault"
+
+    def __post_init__(self) -> None:
+        if not self.link:
+            raise ScenarioError("fault needs a non-empty 'link' pattern")
+        if self.start_ns < 0:
+            raise ScenarioError(f"fault starts before t=0: {self.start_ns}")
+
+    @property
+    def end_ns(self) -> float:
+        return FOREVER
+
+    def matches(self, link_name: str) -> bool:
+        return fnmatch(link_name, self.link)
+
+    def scaled(self, intensity: float) -> "FaultEvent | None":
+        """This fault at a given intensity in [0, 1]; ``None`` drops it."""
+        return self if intensity > 0 else None
+
+    def to_dict(self) -> dict:
+        out: dict = {"type": self.kind}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v != FOREVER:
+                out[f.name] = v
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class _WindowedFault(FaultEvent):
+    """A fault active over a finite-or-infinite [start_ns, end_ns)."""
+
+    end_ns: float = FOREVER  # type: ignore[misc]
+
+    # Parent validation is invoked by explicit class reference: the
+    # slots=True dataclass decorator rebuilds each class, so zero-arg
+    # super() (whose __class__ cell still points at the pre-slots
+    # class) raises TypeError inside these methods.
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if self.end_ns <= self.start_ns:
+            raise ScenarioError(
+                f"{self.kind}: empty window [{self.start_ns}, {self.end_ns})"
+            )
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDegrade(_WindowedFault):
+    """Bandwidth multiplied by ``factor`` (models x16->x8->x4 retraining)."""
+
+    factor: float = 0.5
+    kind = "link_degrade"
+
+    def __post_init__(self) -> None:
+        _WindowedFault.__post_init__(self)
+        if not 0.0 < self.factor <= 1.0:
+            raise ScenarioError(f"link_degrade factor must be in (0, 1]: {self.factor}")
+
+    def scaled(self, intensity: float) -> "LinkDegrade | None":
+        if intensity <= 0:
+            return None
+        return replace(self, factor=1.0 - intensity * (1.0 - self.factor))
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFlap(_WindowedFault):
+    """Link down for a finite window; traffic retries with backoff."""
+
+    kind = "link_flap"
+
+    def __post_init__(self) -> None:
+        _WindowedFault.__post_init__(self)
+        if self.end_ns == FOREVER:
+            raise ScenarioError("link_flap needs a finite end_ns (use link_fail)")
+
+    def scaled(self, intensity: float) -> "LinkFlap | None":
+        if intensity <= 0:
+            return None
+        return replace(self, end_ns=self.start_ns + intensity * self.duration_ns)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFail(FaultEvent):
+    """Link permanently down from ``start_ns`` onward.
+
+    Cannot be meaningfully attenuated, so intensity scaling keeps it
+    only at full intensity (>= 1); partial-intensity sweep points see
+    the other faults without the hard failure.
+    """
+
+    kind = "link_fail"
+
+    def scaled(self, intensity: float) -> "LinkFail | None":
+        return self if intensity >= 1.0 else None
+
+
+@dataclass(frozen=True, slots=True)
+class CrcBurst(_WindowedFault):
+    """Per-byte corruption probability raised by ``error_rate``."""
+
+    error_rate: float = 1e-5
+    kind = "crc_burst"
+
+    def __post_init__(self) -> None:
+        _WindowedFault.__post_init__(self)
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ScenarioError(
+                f"crc_burst error_rate must be in [0, 1): {self.error_rate}"
+            )
+
+    def scaled(self, intensity: float) -> "CrcBurst | None":
+        if intensity <= 0:
+            return None
+        return replace(self, error_rate=intensity * self.error_rate)
+
+
+@dataclass(frozen=True, slots=True)
+class DrainSlowdown(_WindowedFault):
+    """Receiver ``drain_bytes_per_ns`` multiplied by ``factor``."""
+
+    factor: float = 0.25
+    kind = "drain_slowdown"
+
+    def __post_init__(self) -> None:
+        _WindowedFault.__post_init__(self)
+        if self.factor <= 0:
+            raise ScenarioError(f"drain_slowdown factor must be > 0: {self.factor}")
+        if self.end_ns == FOREVER:
+            raise ScenarioError("drain_slowdown needs a finite end_ns")
+
+    def scaled(self, intensity: float) -> "DrainSlowdown | None":
+        if intensity <= 0:
+            return None
+        return replace(self, factor=1.0 - intensity * (1.0 - min(self.factor, 1.0)))
+
+
+@dataclass(frozen=True, slots=True)
+class CreditLeak(_WindowedFault):
+    """``leak_bytes`` of receiver buffer unavailable during the window."""
+
+    leak_bytes: int = 1024
+    kind = "credit_leak"
+
+    def __post_init__(self) -> None:
+        _WindowedFault.__post_init__(self)
+        if self.leak_bytes < 0:
+            raise ScenarioError(f"credit_leak leak_bytes must be >= 0: {self.leak_bytes}")
+        if self.end_ns == FOREVER:
+            raise ScenarioError("credit_leak needs a finite end_ns")
+
+    def scaled(self, intensity: float) -> "CreditLeak | None":
+        if intensity <= 0:
+            return None
+        return replace(self, leak_bytes=int(round(intensity * self.leak_bytes)))
+
+
+#: JSON ``type`` tag -> event class.
+FAULT_TYPES: dict[str, type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (LinkDegrade, LinkFlap, LinkFail, CrcBurst, DrainSlowdown, CreditLeak)
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSchedule:
+    """A validated, ordered collection of fault events.
+
+    Attributes
+    ----------
+    faults:
+        The events, sorted by (start_ns, link, kind) so iteration order
+        -- and therefore everything downstream -- is deterministic.
+    name, description:
+        Scenario identity for reports and trace metadata.
+    topology, with_credits:
+        Optional system-construction hints for the chaos CLI.
+    """
+
+    faults: tuple[FaultEvent, ...] = ()
+    name: str = "scenario"
+    description: str = ""
+    topology: str | None = None
+    with_credits: bool = True
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.faults, key=lambda f: (f.start_ns, f.link, f.kind))
+        )
+        object.__setattr__(self, "faults", ordered)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def for_link(self, link_name: str) -> list[FaultEvent]:
+        """Events whose pattern matches one concrete link name."""
+        return [f for f in self.faults if f.matches(link_name)]
+
+    def scaled(self, intensity: float) -> "FaultSchedule":
+        """The schedule attenuated/amplified to ``intensity`` in [0, 1].
+
+        0 yields an empty (fault-free) schedule; 1 yields the schedule
+        as written.  Per-type semantics are documented on each event's
+        ``scaled`` method.
+        """
+        if intensity < 0:
+            raise ScenarioError(f"intensity must be >= 0: {intensity}")
+        kept = tuple(
+            s for f in self.faults if (s := f.scaled(intensity)) is not None
+        )
+        return replace(self, faults=kept)
+
+    # -- (de)serialization ------------------------------------------
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultSchedule":
+        if not isinstance(raw, dict):
+            raise ScenarioError(f"scenario must be an object, got {type(raw).__name__}")
+        unknown = set(raw) - {"name", "description", "topology", "with_credits", "faults"}
+        if unknown:
+            raise ScenarioError(f"unknown scenario keys: {sorted(unknown)}")
+        events = []
+        raw_faults = raw.get("faults", [])
+        if not isinstance(raw_faults, list):
+            raise ScenarioError("'faults' must be a list")
+        for i, spec in enumerate(raw_faults):
+            if not isinstance(spec, dict):
+                raise ScenarioError(f"faults[{i}] is not an object")
+            spec = dict(spec)
+            kind = spec.pop("type", None)
+            fault_cls = FAULT_TYPES.get(kind)
+            if fault_cls is None:
+                raise ScenarioError(
+                    f"faults[{i}]: unknown fault type {kind!r}; "
+                    f"known: {sorted(FAULT_TYPES)}"
+                )
+            try:
+                events.append(fault_cls(**spec))
+            except TypeError as exc:
+                raise ScenarioError(f"faults[{i}] ({kind}): {exc}") from exc
+        return cls(
+            faults=tuple(events),
+            name=raw.get("name", "scenario"),
+            description=raw.get("description", ""),
+            topology=raw.get("topology"),
+            with_credits=raw.get("with_credits", True),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(raw)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultSchedule":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name}
+        if self.description:
+            out["description"] = self.description
+        if self.topology:
+            out["topology"] = self.topology
+        out["with_credits"] = self.with_credits
+        out["faults"] = [f.to_dict() for f in self.faults]
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,303 @@
+"""Runtime fault state armed on interconnect components.
+
+This module is the *mechanism* half of the fault subsystem: small,
+dependency-free state objects that a :class:`~repro.faults.injector.
+FaultInjector` attaches to :class:`~repro.interconnect.link.Link` and
+:class:`~repro.interconnect.flowcontrol.CreditPool` instances.  The
+link/pool hot paths consult them at transmit/commit time, so faults
+cost nothing when no scenario is armed (a single ``is None`` check).
+
+Everything here is deterministic: down-time recovery is modelled as a
+timeout-driven retransmit with exponential backoff (attempts at
+``t + T``, ``t + 3T``, ``t + 7T`` ... for timeout ``T``), so the same
+schedule always yields the same timing, and every finite fault window
+is escaped in a bounded number of attempts.
+
+The module deliberately imports nothing from the rest of ``repro`` so
+the interconnect layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Sentinel end time for permanent faults (``LinkFail``).
+FOREVER = float("inf")
+
+
+class FaultError(RuntimeError):
+    """Base class for fault-subsystem runtime errors."""
+
+
+class LinkDownError(FaultError):
+    """A link could not carry a message (down window not escaped).
+
+    Raised by :meth:`LinkFaultState.admit` when the link is permanently
+    down at the attempt time, or when the retransmit budget is exhausted
+    waiting out a (long) finite outage.  The topology layer catches it
+    and tries to reroute.
+    """
+
+    def __init__(self, link_name: str, at_ns: float, permanent: bool) -> None:
+        self.link_name = link_name
+        self.at_ns = at_ns
+        self.permanent = permanent
+        what = "permanently down" if permanent else "down (retries exhausted)"
+        super().__init__(f"link {link_name} {what} at {at_ns:.1f} ns")
+
+
+class RouteBlockedError(FaultError):
+    """No live path exists between two endpoints.
+
+    Raised by :meth:`~repro.interconnect.topology.Topology.route` when a
+    message's link is down and no alternate tree path avoids the dead
+    links.  The system layer converts it into a dropped message and,
+    at the end of the iteration, a
+    :class:`~repro.faults.errors.DegradedRunError`.
+    """
+
+    def __init__(self, src: int, dst: int, at_ns: float, dead: tuple[str, ...]) -> None:
+        self.src = src
+        self.dst = dst
+        self.at_ns = at_ns
+        self.dead = dead
+        super().__init__(
+            f"no live path gpu{src}->gpu{dst} at {at_ns:.1f} ns "
+            f"(dead links: {', '.join(dead) or 'none'})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Window:
+    """One active fault interval on one component: [start_ns, end_ns)."""
+
+    start_ns: float
+    end_ns: float
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_ns < 0:
+            raise ValueError(f"fault window starts before t=0: {self.start_ns}")
+        if self.end_ns <= self.start_ns:
+            raise ValueError(
+                f"empty fault window [{self.start_ns}, {self.end_ns})"
+            )
+
+    def contains(self, t: float) -> bool:
+        return self.start_ns <= t < self.end_ns
+
+
+@dataclass
+class LinkFaultState:
+    """All scheduled faults affecting one link direction.
+
+    Parameters
+    ----------
+    degrade:
+        Bandwidth-multiplier windows (``value`` in (0, 1]); overlapping
+        windows compound multiplicatively (x16 -> x8 -> x4 retraining).
+    down:
+        Outage windows (``LinkFlap``); ``end_ns = FOREVER`` is a
+        permanent failure (``LinkFail``).
+    crc:
+        Additional per-byte corruption-probability windows
+        (``CrcBurst``); added to the link's base ``error_rate``.
+    retry_timeout_ns:
+        End-to-end retransmit timeout: a sender whose packet hit a down
+        window retries after this delay, doubling it on every attempt.
+    max_retries:
+        Retransmit attempts before the sender gives up and the message
+        escalates to rerouting (:class:`LinkDownError`).
+    """
+
+    degrade: tuple[Window, ...] = ()
+    down: tuple[Window, ...] = ()
+    crc: tuple[Window, ...] = ()
+    retry_timeout_ns: float = 1_000.0
+    max_retries: int = 10
+    #: Down windows already announced via ``link_state_change`` events.
+    _announced: set[float] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.retry_timeout_ns <= 0:
+            raise ValueError(f"retry_timeout_ns must be positive: {self.retry_timeout_ns}")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1: {self.max_retries}")
+        self.degrade = tuple(sorted(self.degrade, key=lambda w: w.start_ns))
+        self.down = tuple(sorted(self.down, key=lambda w: w.start_ns))
+        self.crc = tuple(sorted(self.crc, key=lambda w: w.start_ns))
+        for w in self.degrade:
+            if not 0.0 < w.value <= 1.0:
+                raise ValueError(f"degrade factor must be in (0, 1]: {w.value}")
+        for w in self.crc:
+            if not 0.0 <= w.value < 1.0:
+                raise ValueError(f"crc burst rate must be in [0, 1): {w.value}")
+
+    # -- queries -----------------------------------------------------
+
+    def bandwidth_factor(self, t: float) -> float:
+        """Effective bandwidth multiplier at ``t`` (compounding)."""
+        factor = 1.0
+        for w in self.degrade:
+            if w.start_ns > t:
+                break
+            if w.contains(t):
+                factor *= w.value
+        return factor
+
+    def error_rate_extra(self, t: float) -> float:
+        """Additional per-byte corruption probability at ``t``."""
+        extra = 0.0
+        for w in self.crc:
+            if w.start_ns > t:
+                break
+            if w.contains(t):
+                extra += w.value
+        return extra
+
+    def has_crc(self) -> bool:
+        return bool(self.crc)
+
+    def down_at(self, t: float) -> Window | None:
+        for w in self.down:
+            if w.start_ns > t:
+                break
+            if w.contains(t):
+                return w
+        return None
+
+    def permanently_down_at(self, t: float) -> bool:
+        w = self.down_at(t)
+        return w is not None and w.end_ns == FOREVER
+
+    def cut_after(self, start: float, end: float) -> Window | None:
+        """First down window opening inside (start, end), if any.
+
+        A packet being serialized across that instant is killed by the
+        outage and must be retransmitted.
+        """
+        for w in self.down:
+            if w.start_ns >= end:
+                break
+            if start < w.start_ns:
+                return w
+        return None
+
+    # -- the retransmit model ---------------------------------------
+
+    def admit(self, t: float, link) -> float:
+        """Earliest time >= ``t`` the link will carry a packet.
+
+        Models the sender's end-to-end timeout + retransmit loop: an
+        attempt inside a down window is lost; the sender waits
+        ``retry_timeout_ns`` (doubling each time) and resends.  Updates
+        ``link.stats`` retransmit/stall accounting and announces
+        ``link_state_change`` events on ``link.tracer``.
+
+        Raises
+        ------
+        LinkDownError
+            If the window is permanent, or ``max_retries`` attempts did
+            not escape it.
+        """
+        w = self.down_at(t)
+        if w is None:
+            return t
+        stats = link.stats
+        retries = 0
+        attempt = t
+        backoff = self.retry_timeout_ns
+        self._announce(link, w)
+        while True:
+            if w.end_ns == FOREVER:
+                stats.retransmits += retries
+                stats.fault_stall_ns += attempt - t
+                raise LinkDownError(link.name, attempt, permanent=True)
+            if retries >= self.max_retries:
+                stats.retransmits += retries
+                stats.fault_stall_ns += attempt - t
+                raise LinkDownError(link.name, attempt, permanent=False)
+            retries += 1
+            attempt += backoff
+            backoff *= 2
+            w2 = self.down_at(attempt)
+            if w2 is None:
+                stats.retransmits += retries
+                stats.fault_stall_ns += attempt - t
+                return attempt
+            if w2 is not w:
+                self._announce(link, w2)
+                w = w2
+
+    def _announce(self, link, window: Window) -> None:
+        """Emit down/up state-change events once per observed window."""
+        tracer = getattr(link, "tracer", None)
+        if tracer is None or window.start_ns in self._announced:
+            return
+        self._announced.add(window.start_ns)
+        tracer.link_state_change(
+            link.name, "down", window.start_ns, until_ns=window.end_ns
+        )
+        if window.end_ns != FOREVER:
+            tracer.link_state_change(link.name, "up", window.end_ns)
+
+    def reset(self) -> None:
+        """Forget per-run announcement state (between runs)."""
+        self._announced.clear()
+
+
+@dataclass
+class PoolFaultState:
+    """Scheduled faults affecting one receiver credit pool.
+
+    Parameters
+    ----------
+    drain:
+        Drain-rate multiplier windows (``DrainSlowdown``; ``value`` > 0,
+        compounding): the receiver returns credits more slowly, so the
+        transmitter sees sustained back-pressure.
+    leak:
+        Credit-leak windows (``CreditLeak``; ``value`` = data bytes of
+        receiver buffer made unavailable while the window is open).
+        Windows must be finite so blocked senders always unblock.
+    """
+
+    drain: tuple[Window, ...] = ()
+    leak: tuple[Window, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.drain = tuple(sorted(self.drain, key=lambda w: w.start_ns))
+        self.leak = tuple(sorted(self.leak, key=lambda w: w.start_ns))
+        for w in self.drain:
+            if w.value <= 0:
+                raise ValueError(f"drain factor must be positive: {w.value}")
+        for w in self.leak:
+            if w.value < 0:
+                raise ValueError(f"leak bytes must be non-negative: {w.value}")
+            if w.end_ns == FOREVER:
+                raise ValueError("credit-leak windows must be finite")
+
+    def drain_factor(self, t: float) -> float:
+        factor = 1.0
+        for w in self.drain:
+            if w.start_ns > t:
+                break
+            if w.contains(t):
+                factor *= w.value
+        return factor
+
+    def leaked_bytes(self, t: float) -> int:
+        total = 0
+        for w in self.leak:
+            if w.start_ns > t:
+                break
+            if w.contains(t):
+                total += int(w.value)
+        return total
+
+    def leak_relief_after(self, t: float) -> float:
+        """Earliest time > ``t`` at which some active leak closes."""
+        ends = [w.end_ns for w in self.leak if w.contains(t)]
+        if not ends:
+            raise RuntimeError(f"no active leak at {t} ns")  # pragma: no cover
+        return min(ends)

@@ -10,11 +10,18 @@ receiver's de-packetizer (or L2 write path) cannot absorb packets as
 fast as the link delivers them, the link stalls.  The paper sizes the
 FinePack de-packetizer buffer at 64 entries of 128 B for exactly this
 reason (Sec. IV-B).
+
+A pool optionally carries a :class:`~repro.faults.state.PoolFaultState`
+(armed by a :class:`~repro.faults.injector.FaultInjector`): scheduled
+drain slowdowns stretch credit-return times, and credit leaks make part
+of the receiver buffer temporarily unavailable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..faults.state import PoolFaultState
 
 #: PCIe data credits are granted in 16-byte units.
 DATA_CREDIT_BYTES = 16
@@ -43,6 +50,10 @@ class CreditPool:
     header_credits: int = 64
     data_credit_bytes: int = 64 * 128
     drain_bytes_per_ns: float = 500.0
+    #: Scheduled receiver faults (drain slowdown, credit leak).
+    fault_state: PoolFaultState | None = field(
+        default=None, repr=False, compare=False
+    )
     _outstanding: list[tuple[float, int]] = field(default_factory=list)
 
     def _drain_until(self, now: float) -> None:
@@ -60,7 +71,8 @@ class CreditPool:
         """Earliest time a TLP with ``nbytes`` payload may start.
 
         Returns ``now`` when credits are already available, otherwise
-        the time at which enough prior transactions will have drained.
+        the time at which enough prior transactions will have drained
+        (and, under an armed credit leak, the leak to have closed).
         """
         if nbytes > self.data_credit_bytes:
             raise ValueError(
@@ -73,23 +85,56 @@ class CreditPool:
         occupied = sum(b for _, b in pending)
         start = now
         i = 0
-        while tlps >= self.header_credits or occupied + nbytes > self.data_credit_bytes:
-            if i >= len(pending):  # pragma: no cover - guarded by capacity check
-                raise RuntimeError("credit accounting inconsistency")
-            done, freed = pending[i]
-            start = max(start, done)
-            occupied -= freed
-            tlps -= 1
-            i += 1
-        return start
+        fs = self.fault_state
+        if fs is None:
+            while tlps >= self.header_credits or occupied + nbytes > self.data_credit_bytes:
+                if i >= len(pending):  # pragma: no cover - guarded by capacity check
+                    raise RuntimeError("credit accounting inconsistency")
+                done, freed = pending[i]
+                start = max(start, done)
+                occupied -= freed
+                tlps -= 1
+                i += 1
+            return start
+        while True:
+            capacity = self.data_credit_bytes - fs.leaked_bytes(start)
+            if tlps < self.header_credits and occupied + nbytes <= capacity:
+                return start
+            if i < len(pending):
+                done, freed = pending[i]
+                start = max(start, done)
+                occupied -= freed
+                tlps -= 1
+                i += 1
+                continue
+            # Everything drainable has drained; only a leak can still be
+            # squeezing the buffer.  Leak windows are finite, so waiting
+            # for the next one to close always makes progress.
+            if occupied + nbytes <= self.data_credit_bytes:
+                start = max(start, fs.leak_relief_after(start))
+                continue
+            raise RuntimeError(  # pragma: no cover - guarded by capacity check
+                "credit accounting inconsistency"
+            )
 
     def commit(self, arrival: float, nbytes: int) -> float:
         """Record a transaction arriving at ``arrival``; returns drain time.
 
         The receiver begins draining the payload on arrival at its drain
-        rate; credits return when the drain completes.
+        rate (scaled down by any armed drain-slowdown window); credits
+        return when the drain completes.
         """
         self._drain_until(arrival)
-        drain_done = arrival + nbytes / self.drain_bytes_per_ns
+        rate = self.drain_bytes_per_ns
+        if self.fault_state is not None:
+            rate *= self.fault_state.drain_factor(arrival)
+        drain_done = arrival + nbytes / rate
         self._outstanding.append((drain_done, nbytes))
         return drain_done
+
+    def reset(self) -> None:
+        """Forget all buffered transactions (between runs).
+
+        Armed fault state persists, like on :class:`Link`.
+        """
+        self._outstanding.clear()

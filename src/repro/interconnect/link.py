@@ -4,6 +4,13 @@ A :class:`Link` models one direction of a full-duplex interconnect lane
 bundle: packets serialize one at a time at the link's byte rate, and the
 link keeps cumulative per-category byte counters that the metrics layer
 reads after a run.
+
+Links optionally carry a :class:`~repro.faults.state.LinkFaultState`
+(armed by a :class:`~repro.faults.injector.FaultInjector`): scheduled
+bandwidth degradation, outage windows and CRC bursts then shape every
+transmission, with retransmit/stall costs accounted in
+:class:`LinkStats`.  A link with no fault state pays a single ``None``
+check.
 """
 
 from __future__ import annotations
@@ -13,8 +20,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.state import LinkFaultState
 from .flowcontrol import CreditPool
 from .message import MessageKind, WireMessage
+
+#: DLL replay cap: a packet corrupted this many times in a row stops
+#: being retried (the real DLL would retrain the link instead).  Hitting
+#: the cap is counted in ``LinkStats.replay_saturations``.
+MAX_REPLAYS = 8
 
 
 @dataclass
@@ -31,6 +44,16 @@ class LinkStats:
     #: the retransmissions consumed (not counted in ``wire_bytes``).
     replays: int = 0
     replay_bytes: int = 0
+    #: Times a packet hit the ``MAX_REPLAYS`` replay cap while still
+    #: corrupt -- nonzero means the configured error rate is beyond what
+    #: the DLL replay model can faithfully express.
+    replay_saturations: int = 0
+    #: End-to-end timeout-driven retransmissions: packets that hit a
+    #: scheduled outage window and were resent after backoff.
+    retransmits: int = 0
+    #: Simulated time lost to outage windows: backoff waits plus the
+    #: partial serialization of packets killed mid-flight.
+    fault_stall_ns: float = 0.0
 
     @property
     def wire_bytes(self) -> int:
@@ -47,6 +70,16 @@ class LinkStats:
         self.stores_packed += msg.stores_packed
         self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
         self.busy_time_ns += duration_ns
+
+    def fault_summary(self) -> dict[str, float]:
+        """The fault/replay counters, for reports and metrics roll-up."""
+        return {
+            "replays": self.replays,
+            "replay_bytes": self.replay_bytes,
+            "replay_saturations": self.replay_saturations,
+            "retransmits": self.retransmits,
+            "fault_stall_ns": self.fault_stall_ns,
+        }
 
 
 @dataclass
@@ -81,6 +114,10 @@ class Link:
     #: emits a per-link serialization span (plus flow-control occupancy
     #: for credited links).  Set via :meth:`Topology.set_tracer`.
     tracer: object | None = field(default=None, repr=False, compare=False)
+    #: Scheduled faults shaping this link (armed by a FaultInjector).
+    fault_state: LinkFaultState | None = field(
+        default=None, repr=False, compare=False
+    )
     _rng: np.random.Generator | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -88,11 +125,80 @@ class Link:
             raise ValueError(f"link bandwidth must be positive: {self.bytes_per_ns}")
         if not 0.0 <= self.error_rate < 1.0:
             raise ValueError(f"error_rate must be in [0, 1): {self.error_rate}")
-        if self.error_rate:
+        self._seed_rng()
+
+    def _seed_rng(self) -> None:
+        """(Re)seed the replay RNG from the link name, deterministically.
+
+        An RNG exists whenever replays are possible: a base error rate,
+        or armed CRC-burst windows.
+        """
+        if self.error_rate or (
+            self.fault_state is not None and self.fault_state.has_crc()
+        ):
             self._rng = np.random.default_rng(zlib.crc32(self.name.encode()))
+        else:
+            self._rng = None
+
+    def arm_faults(self, state: LinkFaultState | None) -> None:
+        """Attach (or clear, with ``None``) scheduled faults."""
+        self.fault_state = state
+        self._seed_rng()
 
     def serialization_ns(self, msg: WireMessage) -> float:
         return msg.wire_bytes / self.bytes_per_ns
+
+    def _replay_duration(
+        self, msg: WireMessage, duration: float, rate: float
+    ) -> float:
+        """Duration including DLL replays of corrupted packets.
+
+        Each corrupted packet is retransmitted in full (PCIe DLL
+        replay); repeated corruption is possible but bounded by
+        ``MAX_REPLAYS``.
+        """
+        p_corrupt = 1.0 - (1.0 - rate) ** msg.wire_bytes
+        replays = 0
+        while self._rng.random() < p_corrupt:
+            replays += 1
+            if replays >= MAX_REPLAYS:
+                self.stats.replay_saturations += 1
+                break
+        if replays:
+            self.stats.replays += replays
+            self.stats.replay_bytes += replays * msg.wire_bytes
+            duration *= 1 + replays
+        return duration
+
+    def _faulted_serialization(
+        self, msg: WireMessage, start: float
+    ) -> tuple[float, float]:
+        """(start, duration) under scheduled faults.
+
+        Waits out outage windows via the retransmit/backoff model,
+        applies the bandwidth degradation and CRC burst active at the
+        transmission start (piecewise-constant per packet), and restarts
+        packets killed by an outage opening mid-serialization.  Raises
+        :class:`~repro.faults.state.LinkDownError` when the link cannot
+        carry the message at all.
+        """
+        fs = self.fault_state
+        assert fs is not None
+        while True:
+            start = fs.admit(start, self)
+            rate = self.bytes_per_ns * fs.bandwidth_factor(start)
+            duration = msg.wire_bytes / rate
+            err = self.error_rate + fs.error_rate_extra(start)
+            if err > 0.0 and self._rng is not None:
+                duration = self._replay_duration(msg, duration, min(err, 0.999999))
+            cut = fs.cut_after(start, start + duration)
+            if cut is None:
+                return start, duration
+            # The outage killed this packet mid-serialization: the time
+            # already spent is wasted, and the sender retransmits.
+            self.stats.retransmits += 1
+            self.stats.fault_stall_ns += cut.start_ns - start
+            start = cut.start_ns
 
     def transmit(self, msg: WireMessage, ready_time: float) -> tuple[float, float]:
         """Serialize ``msg``; returns (start_time, delivery_time).
@@ -103,22 +209,29 @@ class Link:
         completes a serialization delay plus propagation later.  Calls
         must be made in non-decreasing ``ready_time`` order per link,
         which the event-driven system guarantees.
+
+        Raises
+        ------
+        LinkDownError
+            When armed faults leave the link unable to carry the
+            message (permanent failure, or retries exhausted); the
+            topology layer reroutes or drops.
         """
         start = max(ready_time, self.busy_until)
         if self.credits is not None:
-            start = max(start, self.credits.earliest_start(start, msg.payload_bytes))
-        duration = self.serialization_ns(msg)
-        if self._rng is not None:
-            # Each corrupted packet is retransmitted in full (PCIe DLL
-            # replay); repeated corruption is possible but bounded.
-            p_corrupt = 1.0 - (1.0 - self.error_rate) ** msg.wire_bytes
-            replays = 0
-            while replays < 8 and self._rng.random() < p_corrupt:
-                replays += 1
-            if replays:
-                self.stats.replays += replays
-                self.stats.replay_bytes += replays * msg.wire_bytes
-                duration *= 1 + replays
+            # Transfers larger than the whole receiver buffer (bulk DMA
+            # copies) stream through it: admission waits for a full
+            # buffer's worth of space, while the commit below charges
+            # the true byte count so the drain occupies the pool for
+            # the right duration.
+            need = min(msg.payload_bytes, self.credits.data_credit_bytes)
+            start = max(start, self.credits.earliest_start(start, need))
+        if self.fault_state is None:
+            duration = self.serialization_ns(msg)
+            if self._rng is not None:
+                duration = self._replay_duration(msg, duration, self.error_rate)
+        else:
+            start, duration = self._faulted_serialization(msg, start)
         end = start + duration
         self.busy_until = end
         delivery = end + self.propagation_ns
@@ -135,10 +248,17 @@ class Link:
         return start, delivery
 
     def reset(self) -> None:
-        """Clear timing state and counters (between runs)."""
+        """Clear timing state and counters (between runs).
+
+        Armed faults persist across resets -- they are part of the
+        scenario, not of one run -- but their per-run bookkeeping and
+        the replay RNG are restored to their pristine state so repeated
+        runs are byte-identical.
+        """
         self.busy_until = 0.0
         self.stats = LinkStats()
         if self.credits is not None:
-            self.credits._outstanding.clear()
-        if self.error_rate:
-            self._rng = np.random.default_rng(zlib.crc32(self.name.encode()))
+            self.credits.reset()
+        if self.fault_state is not None:
+            self.fault_state.reset()
+        self._seed_rng()

@@ -11,6 +11,14 @@ A :class:`Topology` owns all links and switches, routes messages along
 the unique tree path, and aggregates link statistics for the metrics
 layer.  ``networkx`` backs the structural representation so tests can
 assert connectivity/path properties independently of the timing model.
+
+Routing is fault-aware: when a link is permanently down (an armed
+``LinkFail``), messages route around it where the graph offers an
+alternate path -- including store-and-forward through a peer GPU on
+NVSwitch-class topologies, the way collective libraries fall back to
+proxy rings.  When no live path remains, :meth:`Topology.route` raises
+:class:`~repro.faults.state.RouteBlockedError` and the system layer
+accounts the message as dropped.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from ..faults.state import LinkDownError, RouteBlockedError
 from .flowcontrol import CreditPool
 from .link import Link, LinkStats
 from .message import WireMessage
@@ -41,7 +50,13 @@ class Topology:
     #: nodes are "gpuN" and "swN" strings.
     links: dict[tuple[str, str], Link]
     forwarding_ns: float = 100.0
+    #: Messages that were rerouted around a dead link this run.
+    rerouted_messages: int = 0
     _paths: dict[tuple[int, int], list[str]] = field(default_factory=dict)
+    _detours: dict[tuple, list[str] | None] = field(default_factory=dict)
+    #: Links armed with outage windows that can turn permanent; cached
+    #: so fault-free routing never scans the link table.
+    _fail_links: tuple[tuple[tuple[str, str], Link], ...] = ()
 
     def _path(self, src: int, dst: int) -> list[str]:
         key = (src, dst)
@@ -51,17 +66,102 @@ class Topology:
             )
         return self._paths[key]
 
+    # -- fault-aware path selection ---------------------------------
+
+    def rebuild_fault_cache(self) -> None:
+        """Re-scan links for armed outage windows.
+
+        Called by :meth:`FaultInjector.arm`/``disarm`` and by
+        :meth:`reset`; keeps :meth:`dead_edges_at` free for unfaulted
+        topologies.
+        """
+        self._fail_links = tuple(
+            (edge, link)
+            for edge, link in self.links.items()
+            if link.fault_state is not None and link.fault_state.down
+        )
+        self._detours.clear()
+
+    def dead_edges_at(self, t: float) -> frozenset[tuple[str, str]]:
+        """Directed edges whose link is permanently down at time ``t``."""
+        if not self._fail_links:
+            return frozenset()
+        return frozenset(
+            edge
+            for edge, link in self._fail_links
+            if link.fault_state.permanently_down_at(t)
+        )
+
+    def _live_path(
+        self, src: int, dst: int, avoid: frozenset[tuple[str, str]]
+    ) -> list[str] | None:
+        """Shortest path avoiding ``avoid`` edges; ``None`` if cut off.
+
+        Built on the directed link set, so one direction of a duplex
+        pair can die while the other keeps carrying traffic.
+        """
+        if not avoid:
+            return self._path(src, dst)
+        key = (src, dst, avoid)
+        if key not in self._detours:
+            digraph = nx.DiGraph()
+            digraph.add_nodes_from(self.graph.nodes)
+            digraph.add_edges_from(e for e in self.links if e not in avoid)
+            try:
+                self._detours[key] = nx.shortest_path(
+                    digraph, f"gpu{src}", f"gpu{dst}"
+                )
+            except nx.NetworkXNoPath:
+                self._detours[key] = None
+        return self._detours[key]
+
     def route(self, msg: WireMessage, ready_time: float) -> float:
-        """Carry ``msg`` hop by hop; returns delivery time at ``msg.dst``."""
+        """Carry ``msg`` hop by hop; returns delivery time at ``msg.dst``.
+
+        If a hop's link is (or goes) permanently down, the message is
+        retransmitted end-to-end over an alternate path avoiding every
+        link observed dead so far.  Bytes already serialized on earlier
+        hops stay accounted on those links -- they really were sent.
+
+        Raises
+        ------
+        RouteBlockedError
+            When no live path to the destination remains.
+        """
         if msg.src == msg.dst:
             raise ValueError("local traffic must not enter the interconnect")
-        path = self._path(msg.src, msg.dst)
         t = ready_time
-        for hop, (a, b) in enumerate(zip(path, path[1:])):
-            if hop > 0:
-                t += self.forwarding_ns
-            _, t = self.links[(a, b)].transmit(msg, t)
-        return t
+        avoid = self.dead_edges_at(t)
+        path = self._live_path(msg.src, msg.dst, avoid)
+        if path is None:
+            raise RouteBlockedError(
+                msg.src, msg.dst, t, tuple(sorted("->".join(e) for e in avoid))
+            )
+        if avoid and path != self._path(msg.src, msg.dst):
+            # Known-dead links are avoided up front; that is still a
+            # detour worth accounting, not just mid-flight escapes.
+            self.rerouted_messages += 1
+        while True:
+            try:
+                tt = t
+                for hop, (a, b) in enumerate(zip(path, path[1:])):
+                    if hop > 0:
+                        tt += self.forwarding_ns
+                    _, tt = self.links[(a, b)].transmit(msg, tt)
+                return tt
+            except LinkDownError as exc:
+                t = exc.at_ns
+                a, _, b = exc.link_name.partition("->")
+                avoid = (avoid | self.dead_edges_at(t)) | {(a, b)}
+                path = self._live_path(msg.src, msg.dst, avoid)
+                if path is None:
+                    raise RouteBlockedError(
+                        msg.src,
+                        msg.dst,
+                        t,
+                        tuple(sorted("->".join(e) for e in avoid)),
+                    ) from exc
+                self.rerouted_messages += 1
 
     def egress_stats(self, gpu: int) -> LinkStats:
         """Aggregated traffic counters of ``gpu``'s outgoing link(s)."""
@@ -91,6 +191,8 @@ class Topology:
     def reset(self) -> None:
         for link in self.links.values():
             link.reset()
+        self.rerouted_messages = 0
+        self.rebuild_fault_cache()
 
 
 def _add_duplex(
@@ -101,6 +203,7 @@ def _add_duplex(
     generation: PCIeGeneration,
     propagation_ns: float,
     with_credits: bool,
+    error_rate: float = 0.0,
 ) -> None:
     graph.add_edge(a, b)
     for u, v in ((a, b), (b, a)):
@@ -110,6 +213,7 @@ def _add_duplex(
             bytes_per_ns=generation.bytes_per_ns,
             propagation_ns=propagation_ns,
             credits=credits,
+            error_rate=error_rate,
         )
 
 
@@ -118,6 +222,7 @@ def single_switch(
     generation: PCIeGeneration = PCIE_GEN4,
     propagation_ns: float = 50.0,
     with_credits: bool = False,
+    error_rate: float = 0.0,
 ) -> Topology:
     """The paper's testbed: ``n_gpus`` GPUs under one PCIe switch."""
     if n_gpus < 2:
@@ -126,7 +231,8 @@ def single_switch(
     links: dict[tuple[str, str], Link] = {}
     for i in range(n_gpus):
         _add_duplex(
-            links, graph, f"gpu{i}", "sw0", generation, propagation_ns, with_credits
+            links, graph, f"gpu{i}", "sw0", generation, propagation_ns,
+            with_credits, error_rate,
         )
     return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)
 
@@ -136,13 +242,16 @@ def fully_connected(
     generation: PCIeGeneration = PCIE_GEN4,
     propagation_ns: float = 50.0,
     with_credits: bool = False,
+    error_rate: float = 0.0,
 ) -> Topology:
     """NVSwitch-class connectivity: a dedicated duplex link per GPU pair.
 
     Models NVLink/NVSwitch systems where every GPU reaches every peer
     in one hop with no shared egress port.  Used for what-if studies
     beyond the paper's switched-PCIe testbed (the per-packet byte costs
-    still come from whichever protocol the system is built with).
+    still come from whichever protocol the system is built with).  The
+    pairwise links also give fault-injection experiments an alternate
+    path: a dead link reroutes store-and-forward through a peer GPU.
     """
     if n_gpus < 2:
         raise ValueError("a multi-GPU topology needs at least 2 GPUs")
@@ -160,6 +269,7 @@ def fully_connected(
                 generation,
                 propagation_ns,
                 with_credits,
+                error_rate,
             )
     return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)
 
@@ -170,6 +280,7 @@ def two_level_tree(
     generation: PCIeGeneration = PCIE_GEN4,
     propagation_ns: float = 50.0,
     with_credits: bool = False,
+    error_rate: float = 0.0,
 ) -> Topology:
     """A 16-GPU-class system: leaf switches joined by a root switch."""
     if n_gpus % fanout:
@@ -182,7 +293,8 @@ def two_level_tree(
         for j in range(fanout):
             gpu = leaf * fanout + j
             _add_duplex(
-                links, graph, f"gpu{gpu}", sw, generation, propagation_ns, with_credits
+                links, graph, f"gpu{gpu}", sw, generation, propagation_ns,
+                with_credits, error_rate,
             )
         _add_duplex(links, graph, sw, "sw0", generation, propagation_ns, False)
     return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)

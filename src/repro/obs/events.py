@@ -18,9 +18,16 @@ kind                      emitted when
 ``MSG_INJECTED``          a wire message enters the interconnect at its source
 ``MSG_DELIVERED``         the message arrives at the destination endpoint
 ``MSG_DRAINED``           the payload has drained into destination memory
-``MSG_DROPPED``           a message is discarded (no stock path does this; the
-                          kind exists so lossy extensions stay accountable)
+``MSG_DROPPED``           a message is discarded -- graceful degradation drops
+                          messages whose destination became unreachable (see
+                          :mod:`repro.faults`); only legal in runs that also
+                          declared faults via ``FAULT_INJECTED``
 ``LINK_TX``               one serialization occupancy of one link direction
+``FAULT_INJECTED``        a scheduled fault is armed on the fabric (one event
+                          per :class:`~repro.faults.schedule.FaultEvent`, at
+                          arm time, carrying the fault window in ``attrs``)
+``LINK_STATE``            a link direction changes health state (``"down"`` at
+                          an outage window opening, ``"up"`` at its close)
 ``RWQ_ENQUEUE``           a store is buffered in a remote-write-queue partition
 ``RWQ_FLUSH``             a partition hands a window to the packetizer (the
                           flush reason -- release, timeout, window miss,
@@ -51,6 +58,8 @@ class EventKind(enum.Enum):
     MSG_DRAINED = "msg_drained"
     MSG_DROPPED = "msg_dropped"
     LINK_TX = "link_tx"
+    FAULT_INJECTED = "fault_injected"
+    LINK_STATE = "link_state"
     RWQ_ENQUEUE = "rwq_enqueue"
     RWQ_FLUSH = "rwq_flush"
     KERNEL = "kernel"

@@ -17,7 +17,12 @@ event, the conservation laws the simulator must obey:
 5. **monotonic engine time** -- the discrete-event engine never steps
    backwards (fed directly by the engine, not derived from events);
 6. **empty remote write queues at barriers** -- the kernel-end release
-   must have flushed every partition before an iteration closes.
+   must have flushed every partition before an iteration closes;
+7. **declared faults only** -- ``MSG_DROPPED`` is legal only in runs
+   that declared injected faults up front (``FAULT_INJECTED`` events);
+   byte conservation then holds modulo the declared drops.  A drop in a
+   fault-free run is still a violation, and a ``LINK_STATE`` ``"up"``
+   transition must close a matching ``"down"``.
 
 A violation raises :class:`InvariantViolation` carrying the offending
 event and a window of the most recent events for diagnosis.
@@ -86,6 +91,11 @@ class InvariantChecker:
         self._link_busy_until: dict[str, float] = {}
         self._engine_last_ns = 0.0
         self._last_iteration = -1
+        #: True once any FAULT_INJECTED event was seen: drops become
+        #: legal (byte conservation modulo declared drops).
+        self._faults_declared = False
+        #: link tracks currently in the "down" state.
+        self._links_down: set[str] = set()
         self.events_checked = 0
         self.barriers_checked = 0
 
@@ -146,10 +156,31 @@ class InvariantChecker:
                 )
         elif kind is EventKind.MSG_DROPPED:
             mid = event.attrs["msg_id"]
+            if not self._faults_declared:
+                self._fail(
+                    f"message {mid} dropped in a run with no declared faults",
+                    event,
+                )
             entry = self._inflight.pop(mid, None)
             if entry is None:
                 self._fail(f"message {mid} dropped without injection", event)
             self._dropped_bytes += entry[1]
+        elif kind is EventKind.FAULT_INJECTED:
+            self._faults_declared = True
+        elif kind is EventKind.LINK_STATE:
+            state = event.attrs["state"]
+            if state == "down":
+                self._links_down.add(event.track)
+            elif state == "up":
+                if event.track not in self._links_down:
+                    self._fail(
+                        f"link {event.track} reported 'up' without a "
+                        f"preceding 'down'",
+                        event,
+                    )
+                self._links_down.discard(event.track)
+            else:
+                self._fail(f"unknown link state {state!r}", event)
         elif kind is EventKind.LINK_TX:
             busy_until = self._link_busy_until.get(event.track, 0.0)
             if event.time_ns < busy_until - _EPS:

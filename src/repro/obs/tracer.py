@@ -210,6 +210,64 @@ class Tracer:
             attrs=attrs,
         )
 
+    # -- faults ------------------------------------------------------
+
+    def fault_injected(
+        self,
+        fault_kind: str,
+        link_pattern: str,
+        start_ns: float,
+        end_ns: float,
+        links: tuple[str, ...] = (),
+    ) -> None:
+        """Declare one scheduled fault at arm time.
+
+        Emitted once per :class:`~repro.faults.schedule.FaultEvent` when
+        a :class:`~repro.faults.injector.FaultInjector` arms a topology.
+        Declaring faults up front switches the invariant checker into
+        fault-aware mode: ``MSG_DROPPED`` events become legal (byte
+        conservation still holds modulo the declared drops).
+        """
+        self.counters.counter("faults_injected").inc()
+        attrs: dict = {
+            "fault": fault_kind,
+            "link": link_pattern,
+            "start_ns": start_ns,
+        }
+        # Permanent faults have an infinite window; JSON exporters choke
+        # on Infinity, so only finite closings are recorded.
+        if end_ns != float("inf"):
+            attrs["end_ns"] = end_ns
+        if links:
+            attrs["links"] = list(links)
+        self._emit(
+            EventKind.FAULT_INJECTED,
+            0.0,
+            "faults",
+            f"{fault_kind}:{link_pattern}",
+            attrs=attrs,
+        )
+
+    def link_state_change(
+        self,
+        link_name: str,
+        state: str,
+        time_ns: float,
+        until_ns: float | None = None,
+    ) -> None:
+        """Record a link-health transition (``"down"`` / ``"up"``)."""
+        self.counters.counter(f"link_state:{state}").inc()
+        attrs: dict = {"state": state}
+        if until_ns is not None and until_ns != float("inf"):
+            attrs["until_ns"] = until_ns
+        self._emit(
+            EventKind.LINK_STATE,
+            time_ns,
+            link_name,
+            state,
+            attrs=attrs,
+        )
+
     # -- remote write queue -----------------------------------------
 
     def rwq_enqueue(

@@ -148,6 +148,48 @@ class PacketStats:
 
 
 @dataclass
+class FaultAccounting:
+    """Fault/replay/resilience roll-up for one run.
+
+    Aggregated from every link's :class:`~repro.interconnect.link.
+    LinkStats` plus the topology's rerouting counter and the system's
+    drop ledger; all zeros for a healthy run.
+    """
+
+    replays: int = 0
+    replay_bytes: int = 0
+    replay_saturations: int = 0
+    retransmits: int = 0
+    fault_stall_ns: float = 0.0
+    rerouted_messages: int = 0
+    dropped_messages: int = 0
+    dropped_bytes: int = 0
+
+    @property
+    def any(self) -> bool:
+        """Whether the fabric misbehaved at all during the run."""
+        return bool(
+            self.replays
+            or self.retransmits
+            or self.fault_stall_ns
+            or self.rerouted_messages
+            or self.dropped_messages
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "replays": self.replays,
+            "replay_bytes": self.replay_bytes,
+            "replay_saturations": self.replay_saturations,
+            "retransmits": self.retransmits,
+            "fault_stall_ns": self.fault_stall_ns,
+            "rerouted_messages": self.rerouted_messages,
+            "dropped_messages": self.dropped_messages,
+            "dropped_bytes": self.dropped_bytes,
+        }
+
+
+@dataclass
 class LinkUtilization:
     """Busy-time fraction of each interconnect link over the run."""
 
@@ -181,6 +223,13 @@ class RunMetrics:
     bytes: ByteBreakdown = field(default_factory=ByteBreakdown)
     packets: PacketStats = field(default_factory=PacketStats)
     links: LinkUtilization = field(default_factory=LinkUtilization)
+    faults: FaultAccounting = field(default_factory=FaultAccounting)
+    #: Per-link traffic/fault counters (``link -> summary dict``); see
+    #: :meth:`MultiGPUSystem.run` for the keys.
+    link_stats: dict[str, dict] = field(default_factory=dict)
+    #: True when the run ended in graceful degradation (the metrics are
+    #: partial: accumulated up to the degraded iteration).
+    degraded: bool = False
 
     @property
     def wire_bytes(self) -> int:
@@ -196,7 +245,7 @@ class RunMetrics:
         return self.bytes.useful / self.bytes.total if self.bytes.total else 0.0
 
     def summary(self) -> dict[str, float]:
-        return {
+        out = {
             "workload": self.workload,
             "paradigm": self.paradigm,
             "n_gpus": self.n_gpus,
@@ -207,3 +256,13 @@ class RunMetrics:
             "efficiency": round(self.efficiency, 4),
             "stores_per_packet": round(self.packets.mean_stores_per_packet, 2),
         }
+        if self.faults.any:
+            f = self.faults
+            out["replays"] = f.replays
+            out["retransmits"] = f.retransmits
+            out["rerouted"] = f.rerouted_messages
+            out["dropped"] = f.dropped_messages
+            out["fault_stall_ms"] = round(f.fault_stall_ns / 1e6, 4)
+        if self.degraded:
+            out["degraded"] = True
+        return out

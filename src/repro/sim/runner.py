@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.config import FinePackConfig
+from ..core.config import FabricConfig, FinePackConfig
 from ..gpu.compute import ComputeModel
 from ..interconnect.pcie import PCIE_GEN4, PCIeGeneration
 from ..trace.stream import WorkloadTrace
@@ -42,6 +42,7 @@ class ExperimentConfig:
     compute: ComputeModel = field(default_factory=ComputeModel)
     barrier_ns: float = 2_000.0
     two_level: bool = False
+    fabric: FabricConfig = field(default_factory=FabricConfig)
 
 
 def build_system(config: ExperimentConfig, n_gpus: int | None = None) -> MultiGPUSystem:
@@ -52,6 +53,7 @@ def build_system(config: ExperimentConfig, n_gpus: int | None = None) -> MultiGP
         finepack_config=config.finepack_config,
         barrier_ns=config.barrier_ns,
         two_level=config.two_level,
+        error_rate=config.fabric.error_rate,
     )
 
 

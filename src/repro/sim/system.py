@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 from ..core.config import FinePackConfig
 from ..core.depacketizer import Depacketizer
+from ..faults.errors import DegradedRunError
+from ..faults.state import RouteBlockedError
 from ..gpu.compute import ComputeModel
 from ..gpu.gpu import GPU
 from ..interconnect.message import MessageKind, WireMessage
@@ -56,6 +58,9 @@ class MultiGPUSystem:
     finepack_config: FinePackConfig = field(default_factory=FinePackConfig)
     #: Cost of the inter-GPU synchronization barrier per iteration.
     barrier_ns: float = 2_000.0
+    #: Optional :class:`~repro.faults.injector.FaultInjector`; when set,
+    #: its schedule is armed on the topology at the start of every run.
+    fault_injector: object | None = None
 
     @classmethod
     def build(
@@ -68,6 +73,8 @@ class MultiGPUSystem:
         two_level: bool = False,
         topology_kind: str | None = None,
         with_credits: bool = False,
+        error_rate: float = 0.0,
+        fault_injector: object | None = None,
     ) -> "MultiGPUSystem":
         """Construct the paper's testbed (or a variant).
 
@@ -75,6 +82,9 @@ class MultiGPUSystem:
         testbed, default), ``"two_level"`` (the projected 16-GPU tree)
         or ``"fully_connected"`` (NVSwitch-class pairwise links); the
         legacy ``two_level`` flag is a shorthand for the second.
+        ``error_rate`` is the baseline per-byte corruption probability
+        of every link (see :class:`~repro.core.config.FabricConfig`);
+        ``fault_injector`` arms a scenario's scheduled faults.
         """
         compute = compute or ComputeModel()
         gpus = [GPU(index=i, compute=compute) for i in range(n_gpus)]
@@ -91,7 +101,10 @@ class MultiGPUSystem:
                     f"unknown topology {kind!r}; pick from {sorted(factories)}"
                 )
             topology = factories[kind](
-                n_gpus=n_gpus, generation=generation, with_credits=with_credits
+                n_gpus=n_gpus,
+                generation=generation,
+                with_credits=with_credits,
+                error_rate=error_rate,
             )
         return cls(
             n_gpus=n_gpus,
@@ -100,6 +113,7 @@ class MultiGPUSystem:
             topology=topology,
             finepack_config=finepack_config or FinePackConfig(),
             barrier_ns=barrier_ns,
+            fault_injector=fault_injector,
         )
 
     def run(
@@ -125,6 +139,8 @@ class MultiGPUSystem:
                 self.topology.set_tracer(tracer)
             for egress in getattr(paradigm, "engines", []):
                 egress.tracer = tracer
+        if self.fault_injector is not None and self.topology is not None:
+            self.fault_injector.arm(self.topology, tracer=tracer)
         engine = Engine(tracer=tracer)
         depacketizers = [
             Depacketizer(
@@ -138,6 +154,10 @@ class MultiGPUSystem:
         )
 
         t = 0.0
+        #: id(msg) of messages dropped because no live route remained,
+        #: and the human-readable reasons (for DegradedRunError).
+        dropped_ids: set[int] = set()
+        degraded_reasons: list[str] = []
         n_iters = trace.n_iterations
         for k, iteration in enumerate(trace.iterations):
             compute_end = {
@@ -178,7 +198,20 @@ class MultiGPUSystem:
                     if tracer is not None
                     else None
                 )
-                delivered = self.topology.route(msg, engine.now)
+                try:
+                    delivered = self.topology.route(msg, engine.now)
+                except RouteBlockedError as exc:
+                    # Graceful degradation: the destination is
+                    # unreachable.  Drop the message, keep accounts
+                    # balanced, and finish the iteration so the run
+                    # ends with partial metrics instead of hanging.
+                    dropped_ids.add(id(msg))
+                    metrics.faults.dropped_messages += 1
+                    metrics.faults.dropped_bytes += msg.payload_bytes
+                    degraded_reasons.append(str(exc))
+                    if msg_id is not None:
+                        tracer.message_dropped(msg_id, msg, engine.now)
+                    return
                 if msg.kind is MessageKind.FINEPACK:
                     drained = depacketizers[msg.dst].admit(
                         msg.meta["packet"], delivered
@@ -203,6 +236,10 @@ class MultiGPUSystem:
             metrics.compute_time_ns += max(compute_end.values()) - t
 
             for (src, dst), msgs in per_pair.items():
+                if dropped_ids:
+                    msgs = [m for m in msgs if id(m) not in dropped_ids]
+                    if not msgs:
+                        continue
                 src_phase = iteration.phases[src]
                 footprint = src_phase.stores.for_dst(dst).footprint()
                 if src_phase.atomics.count:
@@ -234,15 +271,48 @@ class MultiGPUSystem:
                 tracer.iteration(k, t, iteration_end)
             metrics.iteration_times_ns.append(iteration_end - t)
             t = iteration_end
+            if degraded_reasons:
+                # The fabric lost a destination this iteration; the
+                # remaining iterations would only replay the same drops.
+                break
 
         metrics.total_time_ns = t
-        if self.topology is not None and t > 0:
-            metrics.links.by_link = {
-                f"{a}->{b}": stats.busy_time_ns / t
-                for (a, b), stats in self.topology.all_stats().items()
-            }
+        self._collect_fabric_stats(metrics, t)
         if tracer is not None:
             if self.topology is not None:
                 self.topology.set_tracer(None)
             tracer.finish()
+        if degraded_reasons:
+            metrics.degraded = True
+            # Deduplicate while preserving first-seen order.
+            reasons = tuple(dict.fromkeys(degraded_reasons))
+            raise DegradedRunError(
+                f"run degraded after iteration {len(metrics.iteration_times_ns) - 1}: "
+                f"{metrics.faults.dropped_messages} message(s) undeliverable",
+                metrics=metrics,
+                reasons=reasons,
+            )
         return metrics
+
+    def _collect_fabric_stats(self, metrics: RunMetrics, total_ns: float) -> None:
+        """Fold per-link counters into the run's fault/link accounting."""
+        if self.topology is None:
+            return
+        faults = metrics.faults
+        faults.rerouted_messages += self.topology.rerouted_messages
+        for (a, b), stats in self.topology.all_stats().items():
+            name = f"{a}->{b}"
+            if total_ns > 0:
+                metrics.links.by_link[name] = stats.busy_time_ns / total_ns
+            faults.replays += stats.replays
+            faults.replay_bytes += stats.replay_bytes
+            faults.replay_saturations += stats.replay_saturations
+            faults.retransmits += stats.retransmits
+            faults.fault_stall_ns += stats.fault_stall_ns
+            metrics.link_stats[name] = {
+                "messages": stats.messages,
+                "wire_bytes": stats.wire_bytes,
+                "busy_time_ns": stats.busy_time_ns,
+                "utilization": stats.busy_time_ns / total_ns if total_ns > 0 else 0.0,
+                **stats.fault_summary(),
+            }

@@ -1,0 +1,96 @@
+"""FaultInjector: compiling schedules onto live topologies."""
+
+import pytest
+
+from repro.faults import FOREVER, FaultInjector, FaultSchedule
+from repro.interconnect.topology import single_switch
+from repro.obs import Tracer
+from repro.obs.events import EventKind
+
+
+@pytest.fixture
+def schedule() -> FaultSchedule:
+    return FaultSchedule.from_dict(
+        {
+            "name": "mix",
+            "faults": [
+                {"type": "link_degrade", "link": "gpu0->*",
+                 "start_ns": 10.0, "end_ns": 20.0, "factor": 0.5},
+                {"type": "link_fail", "link": "gpu1->sw0", "start_ns": 30.0},
+                {"type": "crc_burst", "link": "gpu0->*",
+                 "start_ns": 0.0, "end_ns": 50.0, "error_rate": 1e-5},
+                {"type": "drain_slowdown", "link": "sw0->gpu1",
+                 "start_ns": 0.0, "end_ns": 100.0, "factor": 0.25},
+            ],
+        }
+    )
+
+
+class TestCompile:
+    def test_link_state_collects_matching_windows(self, schedule):
+        inj = FaultInjector(schedule, retry_timeout_ns=7.0, max_retries=3)
+        fs = inj.compile_link_state("gpu0->sw0")
+        assert [w.value for w in fs.degrade] == [0.5]
+        assert [w.value for w in fs.crc] == [1e-5]
+        assert fs.down == ()
+        assert (fs.retry_timeout_ns, fs.max_retries) == (7.0, 3)
+
+    def test_link_fail_becomes_permanent_window(self, schedule):
+        fs = FaultInjector(schedule).compile_link_state("gpu1->sw0")
+        assert [w.end_ns for w in fs.down] == [FOREVER]
+
+    def test_clean_link_compiles_to_none(self, schedule):
+        inj = FaultInjector(schedule)
+        assert inj.compile_link_state("gpu3->sw0") is None
+        assert inj.compile_pool_state("gpu3->sw0") is None
+
+    def test_pool_state(self, schedule):
+        ps = FaultInjector(schedule).compile_pool_state("sw0->gpu1")
+        assert [w.value for w in ps.drain] == [0.25]
+
+
+class TestArm:
+    def test_arm_attaches_state_and_rebuilds_cache(self, schedule):
+        top = single_switch(n_gpus=4, with_credits=True)
+        inj = FaultInjector(schedule)
+        inj.arm(top)
+        assert top.links[("gpu0", "sw0")].fault_state is not None
+        assert top.links[("gpu3", "sw0")].fault_state is None
+        assert top.links[("sw0", "gpu1")].credits.fault_state is not None
+        assert sorted(inj.armed_links) == ["gpu0->sw0", "gpu1->sw0", "sw0->gpu1"]
+        # The fail cache knows about the one link with a down window.
+        assert [e for e, _ in top._fail_links] == [("gpu1", "sw0")]
+        assert top.dead_edges_at(40.0) == frozenset({("gpu1", "sw0")})
+        assert top.dead_edges_at(20.0) == frozenset()
+
+    def test_arm_survives_topology_reset(self, schedule):
+        top = single_switch(n_gpus=4)
+        inj = FaultInjector(schedule)
+        inj.arm(top)
+        top.reset()
+        assert top.links[("gpu0", "sw0")].fault_state is not None
+        assert top.dead_edges_at(40.0) == frozenset({("gpu1", "sw0")})
+
+    def test_disarm_cleans_everything(self, schedule):
+        top = single_switch(n_gpus=4, with_credits=True)
+        inj = FaultInjector(schedule)
+        inj.arm(top)
+        inj.disarm(top)
+        assert all(l.fault_state is None for l in top.links.values())
+        assert top._fail_links == ()
+        assert inj.armed_links == []
+
+    def test_arm_declares_faults_on_tracer(self, schedule):
+        top = single_switch(n_gpus=4)
+        tracer = Tracer()
+        FaultInjector(schedule).arm(top, tracer=tracer)
+        declared = [
+            e for e in tracer.events if e.kind is EventKind.FAULT_INJECTED
+        ]
+        assert len(declared) == len(schedule)
+        by_kind = {e.attrs["fault"] for e in declared}
+        assert by_kind == {"link_degrade", "link_fail", "crc_burst", "drain_slowdown"}
+        fail = next(e for e in declared if e.attrs["fault"] == "link_fail")
+        # Permanent faults must not leak JSON-hostile infinities.
+        assert "end_ns" not in fail.attrs
+        assert fail.attrs["links"] == ["gpu1->sw0"]

@@ -1,0 +1,161 @@
+"""FaultSchedule parsing, validation and intensity scaling."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    FAULT_TYPES,
+    CrcBurst,
+    CreditLeak,
+    DrainSlowdown,
+    FaultSchedule,
+    LinkDegrade,
+    LinkFail,
+    LinkFlap,
+    ScenarioError,
+)
+
+FLAP = {"type": "link_flap", "link": "gpu0->sw0", "start_ns": 100.0, "end_ns": 200.0}
+
+
+class TestParsing:
+    def test_registry_covers_all_types(self):
+        assert set(FAULT_TYPES) == {
+            "link_degrade", "link_flap", "link_fail", "crc_burst",
+            "drain_slowdown", "credit_leak",
+        }
+
+    def test_from_dict_builds_typed_events(self):
+        sched = FaultSchedule.from_dict({"name": "s", "faults": [FLAP]})
+        assert len(sched) == 1
+        (flap,) = sched
+        assert isinstance(flap, LinkFlap)
+        assert (flap.start_ns, flap.end_ns) == (100.0, 200.0)
+
+    def test_json_round_trip(self):
+        sched = FaultSchedule.from_dict(
+            {
+                "name": "rt",
+                "description": "round trip",
+                "topology": "single_switch",
+                "with_credits": False,
+                "faults": [
+                    FLAP,
+                    {"type": "crc_burst", "link": "*", "start_ns": 0.0,
+                     "end_ns": 50.0, "error_rate": 1e-4},
+                    {"type": "link_fail", "link": "gpu1->sw0", "start_ns": 10.0},
+                ],
+            }
+        )
+        again = FaultSchedule.from_json(sched.to_json())
+        assert again == sched
+
+    def test_infinite_end_survives_round_trip_without_json_infinity(self):
+        sched = FaultSchedule(
+            faults=(LinkFail(link="gpu0->sw0", start_ns=5.0),)
+        )
+        text = sched.to_json()
+        assert "Infinity" not in text
+        assert FaultSchedule.from_json(text).faults[0].end_ns == math.inf
+
+    def test_faults_sorted_deterministically(self):
+        a = LinkFlap(link="b", start_ns=50.0, end_ns=60.0)
+        b = LinkFlap(link="a", start_ns=50.0, end_ns=60.0)
+        c = LinkDegrade(link="z", start_ns=10.0, end_ns=20.0)
+        assert FaultSchedule(faults=(a, b, c)).faults == (c, b, a)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown fault type"):
+            FaultSchedule.from_dict(
+                {"faults": [{"type": "gremlins", "link": "*", "start_ns": 0.0}]}
+            )
+
+    def test_unknown_scenario_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scenario keys"):
+            FaultSchedule.from_dict({"faults": [], "oops": 1})
+
+    def test_unknown_fault_field_rejected(self):
+        with pytest.raises(ScenarioError, match="link_flap"):
+            FaultSchedule.from_dict({"faults": [{**FLAP, "oops": 1}]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ScenarioError, match="invalid scenario JSON"):
+            FaultSchedule.from_json("{not json")
+
+
+class TestValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ScenarioError):
+            LinkFail(link="*", start_ns=-1.0)
+
+    def test_empty_link_pattern_rejected(self):
+        with pytest.raises(ScenarioError):
+            LinkFail(link="", start_ns=0.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ScenarioError):
+            LinkFlap(link="*", start_ns=10.0, end_ns=10.0)
+
+    def test_flap_needs_finite_end(self):
+        with pytest.raises(ScenarioError, match="finite end_ns"):
+            LinkFlap(link="*", start_ns=0.0)
+
+    def test_degrade_factor_bounds(self):
+        with pytest.raises(ScenarioError):
+            LinkDegrade(link="*", start_ns=0.0, end_ns=1.0, factor=0.0)
+        with pytest.raises(ScenarioError):
+            LinkDegrade(link="*", start_ns=0.0, end_ns=1.0, factor=1.5)
+
+    def test_crc_rate_bounds(self):
+        with pytest.raises(ScenarioError):
+            CrcBurst(link="*", start_ns=0.0, end_ns=1.0, error_rate=1.0)
+
+    def test_drain_and_leak_need_finite_windows(self):
+        with pytest.raises(ScenarioError):
+            DrainSlowdown(link="*", start_ns=0.0)
+        with pytest.raises(ScenarioError):
+            CreditLeak(link="*", start_ns=0.0)
+
+
+class TestMatching:
+    def test_fnmatch_patterns(self):
+        flap = LinkFlap(link="gpu0->*", start_ns=0.0, end_ns=1.0)
+        assert flap.matches("gpu0->sw0")
+        assert not flap.matches("sw0->gpu0")
+        sched = FaultSchedule(faults=(flap,))
+        assert sched.for_link("gpu0->sw0") == [flap]
+        assert sched.for_link("gpu1->sw0") == []
+
+
+class TestScaling:
+    def test_zero_intensity_is_fault_free(self):
+        sched = FaultSchedule.from_dict({"faults": [FLAP]})
+        assert len(sched.scaled(0.0)) == 0
+
+    def test_full_intensity_is_identity(self):
+        sched = FaultSchedule.from_dict({"faults": [FLAP]})
+        assert sched.scaled(1.0) == sched
+
+    def test_degrade_interpolates_toward_one(self):
+        d = LinkDegrade(link="*", start_ns=0.0, end_ns=1.0, factor=0.5)
+        assert d.scaled(0.5).factor == pytest.approx(0.75)
+
+    def test_flap_duration_scales(self):
+        f = LinkFlap(link="*", start_ns=100.0, end_ns=300.0)
+        assert f.scaled(0.25).end_ns == pytest.approx(150.0)
+
+    def test_link_fail_only_at_full_intensity(self):
+        f = LinkFail(link="*", start_ns=0.0)
+        assert f.scaled(0.99) is None
+        assert f.scaled(1.0) is f
+
+    def test_crc_and_leak_scale_linearly(self):
+        c = CrcBurst(link="*", start_ns=0.0, end_ns=1.0, error_rate=4e-5)
+        assert c.scaled(0.5).error_rate == pytest.approx(2e-5)
+        leak = CreditLeak(link="*", start_ns=0.0, end_ns=1.0, leak_bytes=1000)
+        assert leak.scaled(0.5).leak_bytes == 500
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ScenarioError):
+            FaultSchedule().scaled(-0.1)

@@ -1,0 +1,120 @@
+"""Runtime fault-state mechanics: windows, admit/backoff, pool faults."""
+
+import pytest
+
+from repro.faults import (
+    FOREVER,
+    LinkDownError,
+    LinkFaultState,
+    PoolFaultState,
+    Window,
+)
+from repro.interconnect.link import Link
+
+
+@pytest.fixture
+def link() -> Link:
+    return Link(name="gpu0->sw0", bytes_per_ns=32.0)
+
+
+class TestWindow:
+    def test_contains_is_half_open(self):
+        w = Window(10.0, 20.0)
+        assert w.contains(10.0)
+        assert w.contains(19.999)
+        assert not w.contains(20.0)
+        assert not w.contains(9.999)
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            Window(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            Window(5.0, 5.0)
+
+
+class TestLinkFaultState:
+    def test_degrade_compounds_multiplicatively(self):
+        fs = LinkFaultState(
+            degrade=(Window(0.0, 100.0, 0.5), Window(50.0, 80.0, 0.5))
+        )
+        assert fs.bandwidth_factor(10.0) == pytest.approx(0.5)
+        assert fs.bandwidth_factor(60.0) == pytest.approx(0.25)
+        assert fs.bandwidth_factor(90.0) == pytest.approx(0.5)
+        assert fs.bandwidth_factor(100.0) == pytest.approx(1.0)
+
+    def test_crc_windows_add(self):
+        fs = LinkFaultState(
+            crc=(Window(0.0, 100.0, 1e-5), Window(40.0, 60.0, 2e-5))
+        )
+        assert fs.error_rate_extra(50.0) == pytest.approx(3e-5)
+        assert fs.error_rate_extra(70.0) == pytest.approx(1e-5)
+        assert fs.has_crc()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaultState(degrade=(Window(0.0, 1.0, 0.0),))
+        with pytest.raises(ValueError):
+            LinkFaultState(crc=(Window(0.0, 1.0, 1.0),))
+        with pytest.raises(ValueError):
+            LinkFaultState(retry_timeout_ns=0.0)
+
+    def test_admit_outside_window_is_free(self, link):
+        fs = LinkFaultState(down=(Window(100.0, 200.0),))
+        assert fs.admit(50.0, link) == 50.0
+        assert link.stats.retransmits == 0
+
+    def test_admit_backoff_escapes_finite_window(self, link):
+        # Attempts at t + T, t + 3T, t + 7T, ... until one lands after
+        # the window closes.
+        fs = LinkFaultState(down=(Window(100.0, 500.0),), retry_timeout_ns=100.0)
+        out = fs.admit(150.0, link)
+        # 150 -> 250 -> 450 -> 850; 850 is past end (500).
+        assert out == pytest.approx(850.0)
+        assert link.stats.retransmits == 3
+        assert link.stats.fault_stall_ns == pytest.approx(700.0)
+
+    def test_admit_permanent_raises(self, link):
+        fs = LinkFaultState(down=(Window(100.0, FOREVER),))
+        with pytest.raises(LinkDownError) as exc_info:
+            fs.admit(150.0, link)
+        assert exc_info.value.permanent
+        assert exc_info.value.link_name == "gpu0->sw0"
+
+    def test_admit_retry_budget_exhausted(self, link):
+        fs = LinkFaultState(
+            down=(Window(0.0, 1e12),), retry_timeout_ns=1.0, max_retries=3
+        )
+        with pytest.raises(LinkDownError) as exc_info:
+            fs.admit(0.0, link)
+        assert not exc_info.value.permanent
+        assert link.stats.retransmits == 3
+
+    def test_cut_after_finds_window_opening_mid_span(self):
+        fs = LinkFaultState(down=(Window(100.0, 200.0),))
+        assert fs.cut_after(50.0, 150.0).start_ns == 100.0
+        # Window opening exactly at the end does not cut the packet.
+        assert fs.cut_after(50.0, 100.0) is None
+        # A packet starting inside the window is admit()'s problem.
+        assert fs.cut_after(150.0, 180.0) is None
+
+
+class TestPoolFaultState:
+    def test_drain_factor_compounds(self):
+        ps = PoolFaultState(drain=(Window(0.0, 100.0, 0.5), Window(0.0, 50.0, 0.5)))
+        assert ps.drain_factor(10.0) == pytest.approx(0.25)
+        assert ps.drain_factor(75.0) == pytest.approx(0.5)
+        assert ps.drain_factor(100.0) == pytest.approx(1.0)
+
+    def test_leaked_bytes_sum(self):
+        ps = PoolFaultState(leak=(Window(0.0, 100.0, 1024), Window(50.0, 80.0, 512)))
+        assert ps.leaked_bytes(60.0) == 1536
+        assert ps.leaked_bytes(90.0) == 1024
+        assert ps.leaked_bytes(100.0) == 0
+
+    def test_leak_relief(self):
+        ps = PoolFaultState(leak=(Window(0.0, 100.0, 1024), Window(50.0, 80.0, 512)))
+        assert ps.leak_relief_after(60.0) == 80.0
+
+    def test_infinite_leak_rejected(self):
+        with pytest.raises(ValueError):
+            PoolFaultState(leak=(Window(0.0, FOREVER, 64),))

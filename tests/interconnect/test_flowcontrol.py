@@ -48,3 +48,9 @@ class TestCreditPool:
 
     def test_commit_returns_drain_time(self, pool):
         assert pool.commit(5.0, 64) == pytest.approx(69.0)
+
+    def test_reset_clears_outstanding(self, pool):
+        pool.commit(0.0, 200)
+        pool.reset()
+        assert pool.earliest_start(0.0, 200) == 0.0
+        assert pool.occupancy(0.0) == (0, 0)

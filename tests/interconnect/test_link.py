@@ -83,3 +83,45 @@ class TestCredits:
         link.transmit(msg(), 0.0)
         start, _ = link.transmit(msg(), 0.0)
         assert start < 1.0
+
+
+class TestErrorRate:
+    def test_clean_link_never_replays(self, link):
+        link.transmit(msg(payload=1 << 20, overhead=0), 0.0)
+        assert link.stats.replays == 0
+
+    def test_replays_counted_and_deterministic(self):
+        def one_run():
+            l = Link(name="noisy", bytes_per_ns=32.0, error_rate=1e-4)
+            for i in range(50):
+                l.transmit(msg(payload=4096, overhead=0), float(i))
+            return l.stats.replays, l.stats.replay_bytes
+
+        first, again = one_run(), one_run()
+        assert first == again
+        assert first[0] > 0
+        assert first[1] >= first[0] * 4096
+
+    def test_extreme_rate_saturates_replay_cap(self):
+        from repro.interconnect.link import MAX_REPLAYS
+
+        l = Link(name="broken", bytes_per_ns=32.0, error_rate=0.9)
+        link_msg = msg(payload=4096, overhead=0)
+        l.transmit(link_msg, 0.0)
+        assert l.stats.replays == MAX_REPLAYS
+        assert l.stats.replay_saturations == 1
+        # The replay accounting survives in the fault summary.
+        assert l.stats.fault_summary()["replay_saturations"] == 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Link(name="bad", bytes_per_ns=1.0, error_rate=1.5)
+
+    def test_oversized_payload_streams_through_credited_link(self):
+        pool = CreditPool(
+            header_credits=4, data_credit_bytes=256, drain_bytes_per_ns=1.0
+        )
+        link = Link(name="c", bytes_per_ns=1000.0, propagation_ns=0.0, credits=pool)
+        # Larger than the whole pool: admitted by streaming, not rejected.
+        _, delivery = link.transmit(msg(payload=1024, overhead=0), 0.0)
+        assert delivery > 0.0

@@ -62,12 +62,16 @@ class TestMessageLifecycle:
             InvariantChecker.replay([inject(0), deliver(0)])
 
     def test_dropped_messages_conserve(self):
+        # Drops only conserve bytes legally in runs that declared faults
+        # (tests/faults/test_resilience.py covers the illegal case).
         events = [
+            ev(EventKind.FAULT_INJECTED, 0.0, track="faults",
+               fault="link_fail", link="*"),
             inject(0),
             ev(EventKind.MSG_DROPPED, 1.0, track="flow", msg_id=0, payload_bytes=64),
         ]
         checker = InvariantChecker.replay(events)
-        assert checker.events_checked == 2
+        assert checker.events_checked == 3
 
 
 class TestConservationAtBarriers:
