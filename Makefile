@@ -1,6 +1,6 @@
 # Convenience targets for the FinePack reproduction.
 
-.PHONY: install test bench quick verify docs report clean
+.PHONY: install test bench bench-smoke quick verify docs report clean
 
 install:
 	python setup.py develop
@@ -26,6 +26,12 @@ verify:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Tiny sweep through the parallel executor + trace cache; asserts
+# serial == parallel metrics and that a warm cache skips generation.
+# Emits BENCH_sweep.json with the wall-clock comparison.
+bench-smoke:
+	python tools/bench_smoke.py --jobs 2 --out BENCH_sweep.json
 
 docs:
 	python tools/gen_api_docs.py

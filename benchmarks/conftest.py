@@ -9,6 +9,7 @@ pytest run.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -16,6 +17,7 @@ import pytest
 
 from repro.core.config import FinePackConfig
 from repro.interconnect.pcie import PCIE_GEN4, PCIeProtocol
+from repro.run import TraceCache
 from repro.sim.runner import ComparisonResult, ExperimentConfig, compare_paradigms
 from repro.workloads import default_suite
 
@@ -46,11 +48,23 @@ def experiment_config() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def suite_results(experiment_config) -> dict[str, ComparisonResult]:
-    """The paper's core experiment over the whole application suite."""
+    """The paper's core experiment over the whole application suite.
+
+    Runs through the grid executor: ``REPRO_BENCH_JOBS`` (default 1)
+    fans the per-workload paradigm grids over worker processes, and one
+    shared in-process trace cache keeps each workload's trace generated
+    exactly once.  Metrics are identical at any job count.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = TraceCache(os.environ.get("REPRO_TRACE_CACHE") or None)
     results: dict[str, ComparisonResult] = {}
     for workload in default_suite():
         results[workload.name] = compare_paradigms(
-            workload, paradigms=ALL_PARADIGMS, config=experiment_config
+            workload,
+            paradigms=ALL_PARADIGMS,
+            config=experiment_config,
+            jobs=jobs,
+            trace_cache=cache,
         )
     return results
 

@@ -15,6 +15,18 @@ Quick start::
     result = compare_paradigms(JacobiWorkload())
     print(result.speedups())
 
+Experiments are orchestrated through the run layer (see
+``docs/architecture.md``)::
+
+    from repro import RunSpec, RunContext, execute_grid
+
+    spec = RunSpec(workload="jacobi", paradigm="finepack", n_gpus=4)
+    metrics = RunContext(spec).run()
+    outcomes = execute_grid(
+        [spec.with_options(paradigm=p) for p in ("p2p", "dma", "finepack")],
+        jobs=4,
+    )
+
 See ``examples/`` for complete scripts and ``benchmarks/`` for the
 per-figure reproduction harness.
 """
@@ -40,6 +52,15 @@ from .interconnect import (
     PCIeProtocol,
     single_switch,
     two_level_tree,
+)
+from . import registry
+from .run import (
+    RunContext,
+    RunOutcome,
+    RunSpec,
+    TraceCache,
+    execute_grid,
+    labeled_sweep,
 )
 from .sim import (
     ComparisonResult,
@@ -85,6 +106,13 @@ __all__ = [
     "PCIeProtocol",
     "single_switch",
     "two_level_tree",
+    "registry",
+    "RunSpec",
+    "RunContext",
+    "RunOutcome",
+    "TraceCache",
+    "execute_grid",
+    "labeled_sweep",
     "ComparisonResult",
     "ExperimentConfig",
     "MultiGPUSystem",

@@ -25,6 +25,12 @@ every link a baseline per-byte corruption probability (DLL replay
 injection); nonzero fault activity adds a per-link fabric-stats table
 to ``run`` output.
 
+``sweep``, ``compare`` and ``chaos`` accept ``--jobs N`` to fan the
+run grid over worker processes (results are byte-identical to the
+serial run) and ``--trace-cache DIR`` to share generated workload
+traces across processes and invocations through the content-addressed
+cache (:mod:`repro.run`); cache traffic is reported after the table.
+
 ``run`` and ``sweep`` accept ``--trace-out FILE`` to record the run's
 structured event stream (``repro.obs``) and export it -- as Chrome
 ``trace_event`` JSON loadable in ``chrome://tracing``/Perfetto, or as
@@ -89,6 +95,50 @@ def _add_trace_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the run grid (default 1: in-process; "
+        "results are identical either way)",
+    )
+    p.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the content-addressed workload-trace cache "
+        "(shared across processes and invocations; default: "
+        "$REPRO_TRACE_CACHE if set, else in-memory only)",
+    )
+
+
+def _check_jobs(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.jobs > 1 and getattr(args, "trace_out", None):
+        raise SystemExit(
+            "--trace-out records in-process event streams and requires "
+            "--jobs 1"
+        )
+    return args.jobs
+
+
+def _print_cache_stats(stats: dict | None, args: argparse.Namespace, out) -> None:
+    """Surface trace-cache traffic when the user opted into the new
+    execution machinery (the observable proof a warm cache skipped
+    trace generation)."""
+    if stats is None:
+        return
+    if args.jobs > 1 or args.trace_cache:
+        print(
+            f"trace cache: {stats['hits']} hit(s), {stats['misses']} "
+            f"miss(es), {stats['corrupt']} corrupt",
+            file=out,
+        )
+
+
 def _trace_metadata(args: argparse.Namespace) -> dict:
     meta = {
         "gpus": args.gpus,
@@ -113,12 +163,12 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _workload(name: str):
-    cls = WORKLOADS.get(name)
-    if cls is None:
-        raise SystemExit(
-            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
-        )
-    return cls()
+    from .registry import RegistryError, workloads
+
+    try:
+        return workloads.resolve(name)()
+    except RegistryError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _print_metrics(m: RunMetrics, out) -> None:
@@ -180,43 +230,26 @@ def cmd_run(args, out) -> int:
 
 
 def cmd_sweep(args, out) -> int:
-    from .sim.paradigms import FinePackParadigm
-    from .sim.sweep import sweep
-    from .sim.system import MultiGPUSystem
+    from .run import RunSpec, labeled_sweep
 
+    jobs = _check_jobs(args)
     workload = _workload(args.workload)
+    base = RunSpec.for_workload(workload, **_config(args).spec_fields())
     if args.param == "subheader":
-        def factory(b):
-            def make():
-                cfg = FinePackConfig(subheader_bytes=b)
-                return (
-                    MultiGPUSystem.build(
-                        n_gpus=args.gpus,
-                        generation=GENERATIONS[args.gen],
-                        finepack_config=cfg,
-                        error_rate=args.error_rate,
-                    ),
-                    FinePackParadigm(cfg),
-                )
-
-            return make
-
-        configurations = {f"{b}B": factory(b) for b in (2, 3, 4, 5, 6)}
+        labeled = {
+            f"{b}B": base.with_options(
+                paradigm="finepack",
+                finepack=FinePackConfig(subheader_bytes=b),
+            )
+            for b in (2, 3, 4, 5, 6)
+        }
     else:  # generation
-        def gen_factory(g):
-            def make():
-                return (
-                    MultiGPUSystem.build(
-                        n_gpus=args.gpus,
-                        generation=GENERATIONS[g],
-                        error_rate=args.error_rate,
-                    ),
-                    make_paradigm(args.paradigm),
-                )
-
-            return make
-
-        configurations = {f"gen{g}": gen_factory(g) for g in sorted(GENERATIONS)}
+        labeled = {
+            f"gen{g}": base.with_options(
+                paradigm=args.paradigm, generation=GENERATIONS[g]
+            )
+            for g in sorted(GENERATIONS)
+        }
     tracers: dict[str, object] = {}
     tracer_factory = None
     if args.trace_out:
@@ -226,14 +259,13 @@ def cmd_sweep(args, out) -> int:
             tracers[label] = Tracer()
             return tracers[label]
 
-    result = sweep(
-        workload,
-        configurations,
-        n_gpus=args.gpus,
-        iterations=args.iterations,
-        seed=args.seed,
+    run = labeled_sweep(
+        labeled,
+        jobs=jobs,
+        trace_cache=args.trace_cache,
         tracer_factory=tracer_factory,
     )
+    result = run.result
     rows = [
         [p.label, p.speedup, p.metrics.wire_bytes / 1e6,
          p.metrics.packets.mean_stores_per_packet]
@@ -248,6 +280,7 @@ def cmd_sweep(args, out) -> int:
         ),
         file=out,
     )
+    _print_cache_stats(run.cache_stats(), args, out)
     if tracers:
         from .obs import write_chrome_trace
 
@@ -262,8 +295,13 @@ def cmd_sweep(args, out) -> int:
 
 
 def cmd_compare(args, out) -> int:
+    jobs = _check_jobs(args)
     result = compare_paradigms(
-        _workload(args.workload), tuple(args.paradigms), _config(args)
+        _workload(args.workload),
+        tuple(args.paradigms),
+        _config(args),
+        jobs=jobs,
+        trace_cache=args.trace_cache,
     )
     rows = [
         [
@@ -285,6 +323,7 @@ def cmd_compare(args, out) -> int:
         ),
         file=out,
     )
+    _print_cache_stats(result.cache_stats, args, out)
     return 0
 
 
@@ -356,6 +395,7 @@ def cmd_chaos(args, out) -> int:
             tracers[label] = Tracer()
             return tracers[label]
 
+    jobs = _check_jobs(args)
     result = chaos_sweep(
         _workload(args.workload),
         schedule,
@@ -364,8 +404,11 @@ def cmd_chaos(args, out) -> int:
         config=_config(args),
         topology_kind=args.topology,
         tracer_factory=tracer_factory,
+        jobs=jobs,
+        trace_cache=args.trace_cache,
     )
     print(format_chaos_table(result), file=out)
+    _print_cache_stats(result.cache_stats, args, out)
     degraded = [p for p in result.points if p.degraded]
     if degraded:
         print(
@@ -447,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_system_args(p)
     _add_trace_args(p)
+    _add_parallel_args(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("compare", help="compare paradigms on one workload")
@@ -458,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PARADIGMS),
     )
     _add_system_args(p)
+    _add_parallel_args(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("trace", help="generate and save a workload trace")
@@ -515,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_system_args(p)
     _add_trace_args(p)
+    _add_parallel_args(p)
     p.set_defaults(fn=cmd_chaos)
 
     sub.add_parser("goodput", help="print the Fig. 2 goodput table").set_defaults(

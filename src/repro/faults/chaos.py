@@ -9,8 +9,12 @@ Runs that degrade past the point of completion
 ``DEGRADED`` rows carrying their partial metrics rather than aborting
 the sweep.
 
-Simulation modules are imported lazily so ``repro.faults`` stays
-importable from the interconnect layer without cycles.
+The sweep is expressed as a :class:`repro.run.RunSpec` grid executed
+through :func:`repro.run.execute_grid`, so ``jobs=N`` fans the
+(intensity x paradigm) cells over worker processes with results
+byte-identical to the serial sweep.  Simulation modules are imported
+lazily so ``repro.faults`` stays importable from the interconnect
+layer without cycles.
 """
 
 from __future__ import annotations
@@ -19,8 +23,6 @@ import json
 from dataclasses import dataclass, field
 from typing import IO, Sequence
 
-from .errors import DegradedRunError
-from .injector import FaultInjector
 from .schedule import FaultSchedule
 
 #: Default intensity ladder for degradation curves.
@@ -66,6 +68,10 @@ class ChaosResult:
     scenario: str
     workload: str
     points: list[ChaosPoint] = field(default_factory=list)
+    #: Aggregate trace-cache traffic (``hits``/``misses``/``corrupt``)
+    #: when the sweep ran through the grid executor; ``None`` for the
+    #: in-process fallback path.  Excluded from :meth:`as_dict`.
+    cache_stats: dict | None = field(default=None, compare=False)
 
     def baseline(self, paradigm: str) -> ChaosPoint | None:
         """The intensity-0 (fault-free) point for one paradigm."""
@@ -107,6 +113,8 @@ def chaos_sweep(
     config=None,
     topology_kind: str | None = None,
     tracer_factory=None,
+    jobs: int = 1,
+    trace_cache=None,
 ) -> ChaosResult:
     """Sweep ``schedule`` intensity over ``paradigms`` for one workload.
 
@@ -125,62 +133,93 @@ def chaos_sweep(
     tracer_factory:
         Optional ``label -> Tracer`` callable; when given, every run is
         traced (and invariant-checked) under label
-        ``"i{intensity}/{paradigm}"``.
+        ``"i{intensity}/{paradigm}"``.  Tracers are in-process objects,
+        so this requires ``jobs=1``.
+    jobs:
+        Worker-process count for the (intensity x paradigm) grid.
+        Results are byte-identical to the serial sweep; each cell is an
+        isolated simulation and the grid order is deterministic.
+    trace_cache:
+        Optional :class:`repro.run.TraceCache` (or directory) sharing
+        the workload trace across worker processes and invocations.
 
     The trace is generated once and shared by all points, so the sweep
     isolates fabric behavior exactly like the paper's paradigm
     comparisons.
     """
-    from ..sim.runner import ExperimentConfig, _paradigm_instance
-    from ..sim.system import MultiGPUSystem
+    from ..run import RunSpec, aggregate_cache_stats, execute_grid
+    from ..sim.runner import ExperimentConfig
 
     config = config or ExperimentConfig()
     kind = topology_kind or schedule.topology or "single_switch"
+    scenario_json = schedule.to_json(indent=None)
+
+    try:
+        base = RunSpec.for_workload(workload, **config.spec_fields())
+    except (ValueError, TypeError, KeyError):
+        base = None
+
+    grid = [(i, name) for i in intensities for name in paradigms]
+    labels = [f"i{intensity:g}/{name}" for intensity, name in grid]
+    result = ChaosResult(scenario=schedule.name, workload=workload.name)
+
+    if base is not None:
+        specs = [
+            base.with_options(
+                paradigm=name,
+                intensity=float(intensity),
+                scenario=scenario_json,
+                topology=kind,
+                with_credits=schedule.with_credits,
+            )
+            for intensity, name in grid
+        ]
+        outcomes = execute_grid(
+            specs,
+            jobs=jobs,
+            trace_cache=trace_cache,
+            tracer_factory=tracer_factory,
+            labels=labels,
+        )
+        for (intensity, name), outcome in zip(grid, outcomes):
+            result.points.append(
+                ChaosPoint(
+                    intensity,
+                    name,
+                    outcome.metrics,
+                    degraded=outcome.degraded,
+                    reasons=outcome.reasons,
+                )
+            )
+        result.cache_stats = aggregate_cache_stats(outcomes)
+        return result
+
+    # In-process fallback for ad-hoc (unregistered) workload objects.
+    from ..run import RunContext
+    from ..sim.runner import _override_spec
+
     trace = workload.generate_trace(
         n_gpus=config.n_gpus, iterations=config.iterations, seed=config.seed
     )
-    result = ChaosResult(scenario=schedule.name, workload=trace.name)
-    for intensity in intensities:
-        scaled = schedule.scaled(intensity)
-        injector = (
-            FaultInjector(
-                scaled,
-                retry_timeout_ns=config.fabric.retry_timeout_ns,
-                max_retries=config.fabric.max_retries,
-            )
-            if len(scaled)
-            else None
+    for label, (intensity, name) in zip(labels, grid):
+        spec = _override_spec(workload, config, name).with_options(
+            intensity=float(intensity),
+            scenario=scenario_json,
+            topology=kind,
+            with_credits=schedule.with_credits,
         )
-        for name in paradigms:
-            system = MultiGPUSystem.build(
-                n_gpus=config.n_gpus,
-                generation=config.generation,
-                compute=config.compute,
-                finepack_config=config.finepack_config,
-                barrier_ns=config.barrier_ns,
-                topology_kind=kind,
-                with_credits=schedule.with_credits,
-                error_rate=config.fabric.error_rate,
-                fault_injector=injector,
+        tracer = tracer_factory(label) if tracer_factory is not None else None
+        ctx = RunContext(spec, workload=workload, trace=trace, tracer=tracer)
+        outcome = ctx.execute()
+        result.points.append(
+            ChaosPoint(
+                intensity,
+                name,
+                outcome.metrics,
+                degraded=outcome.degraded,
+                reasons=outcome.reasons,
             )
-            paradigm = _paradigm_instance(name, config)
-            tracer = (
-                tracer_factory(f"i{intensity:g}/{name}")
-                if tracer_factory is not None
-                else None
-            )
-            try:
-                metrics = system.run(trace, paradigm, tracer=tracer)
-                point = ChaosPoint(intensity, paradigm.name, metrics)
-            except DegradedRunError as exc:
-                point = ChaosPoint(
-                    intensity,
-                    paradigm.name,
-                    exc.metrics,
-                    degraded=True,
-                    reasons=exc.reasons,
-                )
-            result.points.append(point)
+        )
     return result
 
 

@@ -17,10 +17,14 @@ from __future__ import annotations
 
 import os
 
+from ..registry import RegistryError
+from ..registry import scenarios as _registry
 from .errors import ScenarioError
 from .schedule import FaultSchedule
 
 #: Preset name -> scenario dict (the JSON schema, as Python literals).
+#: Registered into :data:`repro.registry.scenarios` below; downstream
+#: code can add presets with ``registry.scenarios.add(name, dict)``.
 SCENARIOS: dict[str, dict] = {
     # PCIe lane retraining: one GPU's uplink renegotiates x16 -> x4 for
     # most of the run, dropping to x16/16 where the windows overlap.
@@ -88,18 +92,27 @@ SCENARIOS: dict[str, dict] = {
 }
 
 
+for _name, _preset in SCENARIOS.items():
+    _registry.add(_name, _preset)
+
+
 def list_scenarios() -> list[str]:
-    return sorted(SCENARIOS)
+    return _registry.names()
 
 
 def load_scenario(name_or_path: str) -> FaultSchedule:
-    """Load a preset by name, or a scenario JSON file by path."""
-    preset = SCENARIOS.get(name_or_path)
+    """Load a preset by registry name, or a scenario JSON file by path.
+
+    Unknown names raise :class:`ScenarioError` carrying the registry's
+    did-you-mean suggestions.
+    """
+    preset = _registry.get(name_or_path)
     if preset is not None:
         return FaultSchedule.from_dict(preset)
     if os.path.exists(name_or_path):
         return FaultSchedule.from_file(name_or_path)
-    raise ScenarioError(
-        f"unknown scenario {name_or_path!r}: not a preset "
-        f"({', '.join(list_scenarios())}) and not a file"
-    )
+    try:
+        _registry.resolve(name_or_path)
+    except RegistryError as exc:
+        raise ScenarioError(f"{exc} -- and not a file") from None
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 
 from ..faults.state import LinkDownError, RouteBlockedError
+from ..registry import topologies as _registry
 from .flowcontrol import CreditPool
 from .link import Link, LinkStats
 from .message import WireMessage
@@ -217,6 +218,7 @@ def _add_duplex(
         )
 
 
+@_registry.register("single_switch")
 def single_switch(
     n_gpus: int = 4,
     generation: PCIeGeneration = PCIE_GEN4,
@@ -237,6 +239,7 @@ def single_switch(
     return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)
 
 
+@_registry.register("fully_connected")
 def fully_connected(
     n_gpus: int = 4,
     generation: PCIeGeneration = PCIE_GEN4,
@@ -274,6 +277,8 @@ def fully_connected(
     return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)
 
 
+@_registry.register("two_level_tree")
+@_registry.register("two_level")
 def two_level_tree(
     n_gpus: int = 16,
     fanout: int = 4,

@@ -1,0 +1,182 @@
+"""Typed plugin registries: the extension seam of the run layer.
+
+Every orchestration surface needs to turn *names* into *components*:
+``"jacobi"`` into a workload class, ``"finepack"`` into a paradigm,
+``"two_level"`` into a topology factory, ``"flaky-retimer"`` into a
+fault scenario.  Before this module each surface kept its own dict and
+rolled its own lookup-plus-error-message; now there is one
+:class:`Registry` type with uniform ``@register`` decorators and
+did-you-mean resolution errors, and one instance per component kind:
+
+=================  ==========================  =========================
+registry           registered value            populated by
+=================  ==========================  =========================
+:data:`workloads`  workload class              :mod:`repro.workloads`
+:data:`paradigms`  paradigm class              :mod:`repro.sim.paradigms`
+:data:`topologies` topology factory callable   :mod:`repro.interconnect.topology`
+:data:`scenarios`  fault-scenario dict         :mod:`repro.faults.scenarios`
+=================  ==========================  =========================
+
+Registries are *lazily populated*: each knows the module whose import
+performs its registrations, and imports it on first lookup.  That keeps
+this module import-cycle-free (it imports nothing from ``repro``) while
+letting ``repro.registry.paradigms.resolve("finepack")`` work without
+the caller importing the defining module first.
+
+Downstream code registers its own components the same way the built-ins
+do::
+
+    from repro import registry
+
+    @registry.workloads.register("mywork")
+    class MyWorkload(MultiGPUWorkload):
+        ...
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+import threading
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """An unknown name was looked up in a registry.
+
+    Subclasses :class:`KeyError` so legacy ``except KeyError`` callers
+    keep working; ``str()`` is the full did-you-mean message (plain
+    ``KeyError`` would repr-quote it).
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class Registry(Generic[T]):
+    """A name -> component mapping with decorator registration.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind ("workload", "paradigm", ...),
+        used in error messages.
+    populated_by:
+        Optional dotted module name imported on first lookup; the
+        module's import-time ``@register`` calls fill the registry.
+    """
+
+    def __init__(self, kind: str, populated_by: str | None = None) -> None:
+        self.kind = kind
+        self._populated_by = populated_by
+        self._entries: dict[str, T] = {}
+        self._lock = threading.Lock()
+        self._loaded = populated_by is None
+
+    # -- registration -----------------------------------------------
+
+    def register(self, name: str) -> Callable[[T], T]:
+        """Decorator: register the decorated object under ``name``."""
+
+        def deco(obj: T) -> T:
+            self.add(name, obj)
+            return obj
+
+        return deco
+
+    def add(self, name: str, obj: T, *, replace: bool = False) -> None:
+        if not name:
+            raise ValueError(f"{self.kind} name must be non-empty")
+        if not replace and name in self._entries:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered "
+                f"({self._entries[name]!r}); pass replace=True to override"
+            )
+        self._entries[name] = obj
+
+    # -- population -------------------------------------------------
+
+    def _ensure_populated(self) -> None:
+        if self._loaded:
+            return
+        with self._lock:
+            if self._loaded:
+                return
+            # Mark loaded *before* importing: the defining module's own
+            # ``@register`` calls re-enter the registry.
+            self._loaded = True
+            assert self._populated_by is not None
+            importlib.import_module(self._populated_by)
+
+    # -- lookup -----------------------------------------------------
+
+    def resolve(self, name: str) -> T:
+        """The component registered under ``name``.
+
+        Raises :class:`RegistryError` with close-match suggestions for
+        unknown names -- the single error-message surface the CLI, the
+        chaos sweeps and the run layer all share.
+        """
+        self._ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(self._unknown(name)) from None
+
+    def get(self, name: str, default: T | None = None) -> T | None:
+        self._ensure_populated()
+        return self._entries.get(name, default)
+
+    def names(self) -> list[str]:
+        self._ensure_populated()
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, T]]:
+        self._ensure_populated()
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Registry kind={self.kind!r} entries={self.names()!r}>"
+
+    def _unknown(self, name: str) -> str:
+        known = self.names()
+        msg = f"unknown {self.kind} {name!r}"
+        close = difflib.get_close_matches(name, known, n=3, cutoff=0.5)
+        if close:
+            msg += "; did you mean " + " or ".join(repr(c) for c in close) + "?"
+        msg += f" (known: {', '.join(known)})"
+        return msg
+
+
+#: Workload name -> :class:`~repro.workloads.base.MultiGPUWorkload` subclass.
+workloads: Registry[type] = Registry("workload", populated_by="repro.workloads")
+
+#: Paradigm name -> :class:`~repro.sim.paradigms.Paradigm` subclass.
+paradigms: Registry[type] = Registry("paradigm", populated_by="repro.sim.paradigms")
+
+#: Topology kind -> factory callable (``n_gpus=..., generation=..., ...``).
+topologies: Registry[Callable] = Registry(
+    "topology", populated_by="repro.interconnect.topology"
+)
+
+#: Scenario preset name -> scenario dict (the chaos JSON schema).
+scenarios: Registry[dict] = Registry(
+    "fault scenario", populated_by="repro.faults.scenarios"
+)

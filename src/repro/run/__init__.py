@@ -1,0 +1,49 @@
+"""Run orchestration: one composition root for every experiment surface.
+
+Layering (see ``docs/architecture.md``)::
+
+    repro.registry          names -> components (workloads, paradigms,
+                            topologies, fault scenarios)
+          |
+    repro.run.RunSpec       one frozen, hashable description of a run
+          |
+    repro.run.RunContext    composition root: builds workload, trace,
+                            system, paradigm, injector from a spec
+          |
+    repro.run.executor      fans RunSpec grids over processes with a
+                            content-addressed trace cache
+
+Everything the CLI, the sweeps, the chaos harness and the benchmarks
+previously hand-assembled (``MultiGPUSystem.build`` + paradigm +
+tracer + injector plumbing) now flows through :class:`RunContext`, so a
+new knob is plumbed in exactly one place: add a :class:`RunSpec` field
+and consume it in the context.
+
+Quick start::
+
+    from repro.run import RunSpec, RunContext, execute_grid
+
+    spec = RunSpec(workload="jacobi", paradigm="finepack", n_gpus=4)
+    metrics = RunContext(spec).run()
+
+    grid = [spec.with_options(paradigm=p) for p in ("p2p", "dma", "finepack")]
+    outcomes = execute_grid(grid, jobs=4)      # parallel, order-preserving
+"""
+
+from .cache import CACHE_ENV, TraceCache
+from .context import RunContext, RunOutcome
+from .executor import SweepRun, aggregate_cache_stats, execute_grid, labeled_sweep
+from .spec import RunSpec, freeze_params
+
+__all__ = [
+    "RunSpec",
+    "RunContext",
+    "RunOutcome",
+    "TraceCache",
+    "CACHE_ENV",
+    "SweepRun",
+    "aggregate_cache_stats",
+    "execute_grid",
+    "labeled_sweep",
+    "freeze_params",
+]

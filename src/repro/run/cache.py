@@ -1,0 +1,134 @@
+"""Content-addressed workload-trace cache.
+
+Trace generation (running the real algorithm) dominates sweep wall
+time, and every cell of a sweep/chaos grid replays the *same* trace.
+The cache keys a serialized :class:`~repro.trace.stream.WorkloadTrace`
+by :meth:`RunSpec.trace_key` -- the hash of ``(workload, params,
+n_gpus, iterations, seed)`` -- so identical traces are generated once
+per machine instead of once per process per sweep.
+
+Two storage layers:
+
+* an in-process memory layer (always on), giving serial sweeps the
+  same generate-once behavior the old hand-rolled code had;
+* an optional on-disk layer (``root`` directory of ``.npz`` files via
+  :mod:`repro.trace.tracefile`), shared by worker processes and across
+  invocations.  Writes are atomic (temp file + ``os.replace``) so
+  concurrent workers racing on the same key are safe; corrupted or
+  truncated files are deleted and regenerated, never fatal.
+
+Cache traffic is counted in an :class:`~repro.obs.counters.CounterRegistry`
+(``trace_cache.hits`` / ``.misses`` / ``.corrupt``), which the executor
+aggregates into run outcomes -- the observable proof that a warm cache
+skipped generation.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from ..obs.counters import CounterRegistry
+from ..trace.stream import WorkloadTrace
+from ..trace.tracefile import load_trace, save_trace
+
+#: Environment variable naming a persistent default cache directory.
+CACHE_ENV = "REPRO_TRACE_CACHE"
+
+
+class TraceCache:
+    """Memory + optional-disk cache of generated workload traces.
+
+    ``root=None`` gives a memory-only cache (one process, one
+    invocation); a directory path adds the shared on-disk layer.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None else None
+        self._memory: dict[str, WorkloadTrace] = {}
+        self.counters = CounterRegistry()
+
+    @classmethod
+    def from_env(cls) -> "TraceCache":
+        """A cache rooted at ``$REPRO_TRACE_CACHE`` (memory-only if unset)."""
+        return cls(os.environ.get(CACHE_ENV) or None)
+
+    # -- addressing -------------------------------------------------
+
+    def path_for(self, trace_key: str) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / f"trace-{trace_key}.npz"
+
+    # -- the one entry point ----------------------------------------
+
+    def get_or_generate(self, spec, workload=None) -> WorkloadTrace:
+        """The trace for ``spec``, from cache or freshly generated.
+
+        ``workload`` optionally supplies a pre-built instance (the
+        in-process override path); otherwise the spec's registry name
+        is instantiated.  Every return path leaves the trace in the
+        memory layer; fresh generations are also persisted to disk.
+        """
+        key = spec.trace_key()
+        trace = self._memory.get(key)
+        if trace is not None:
+            self.counters.counter("trace_cache.hits").inc()
+            return trace
+
+        path = self.path_for(key)
+        if path is not None and path.exists():
+            try:
+                trace = load_trace(path)
+            except Exception:
+                # Truncated/corrupted file (e.g. a killed worker):
+                # regenerate, never crash.
+                self.counters.counter("trace_cache.corrupt").inc()
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                self.counters.counter("trace_cache.hits").inc()
+                self._memory[key] = trace
+                return trace
+
+        self.counters.counter("trace_cache.misses").inc()
+        if workload is None:
+            workload = spec.build_workload()
+        trace = workload.generate_trace(
+            n_gpus=spec.n_gpus, iterations=spec.iterations, seed=spec.seed
+        )
+        self._memory[key] = trace
+        if path is not None:
+            self._write_atomic(path, trace)
+        return trace
+
+    def _write_atomic(self, path: Path, trace: WorkloadTrace) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem + ".", suffix=".tmp.npz"
+        )
+        os.close(fd)
+        try:
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    # -- introspection ----------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """``{"hits": h, "misses": m, "corrupt": c}`` so far."""
+        snap = self.counters.snapshot()
+        return {
+            "hits": int(snap.get("trace_cache.hits", 0)),
+            "misses": int(snap.get("trace_cache.misses", 0)),
+            "corrupt": int(snap.get("trace_cache.corrupt", 0)),
+        }
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk files stay)."""
+        self._memory.clear()

@@ -1,0 +1,188 @@
+"""Grid execution: serial or process-parallel, always deterministic.
+
+:func:`execute_grid` maps a sequence of :class:`RunSpec` onto
+:class:`RunOutcome` results **in input order**, either in-process
+(``jobs=1``) or fanned over a :class:`ProcessPoolExecutor`.  Each grid
+cell is an isolated simulation (its own system, paradigm and injector
+built by a fresh :class:`RunContext`), which is what makes the fan-out
+safe: serial and parallel execution produce byte-identical metrics,
+and the test suite holds us to that.
+
+Worker processes share traces through the content-addressed
+:class:`TraceCache`: parallel runs get a shared on-disk cache (the
+caller's, ``$REPRO_TRACE_CACHE``, or an ephemeral temp directory), so
+a grid generates each distinct trace once per machine rather than once
+per process.
+
+:func:`labeled_sweep` is the sweep-shaped convenience used by the CLI
+and benchmarks: labeled specs plus an automatically derived single-GPU
+baseline, folded into the familiar
+:class:`~repro.sim.sweep.SweepResult`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from .cache import CACHE_ENV, TraceCache
+from .context import RunContext, RunOutcome
+from .spec import RunSpec
+
+
+def _coerce_cache(trace_cache) -> TraceCache:
+    if trace_cache is None:
+        return TraceCache(os.environ.get(CACHE_ENV) or None)
+    if isinstance(trace_cache, TraceCache):
+        return trace_cache
+    return TraceCache(trace_cache)
+
+
+def _execute_one(payload: tuple[RunSpec, str | None]) -> RunOutcome:
+    """Worker entry point: one spec against a (shared-root) cache."""
+    spec, cache_root = payload
+    return RunContext(spec, TraceCache(cache_root)).execute()
+
+
+def execute_grid(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    trace_cache: TraceCache | str | Path | None = None,
+    tracer_factory: Callable[[str], object] | None = None,
+    labels: Sequence[str] | None = None,
+) -> list[RunOutcome]:
+    """Execute every spec; results are ordered exactly like ``specs``.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (the default) runs in-process.
+    trace_cache:
+        A :class:`TraceCache`, a cache directory, or ``None`` (use
+        ``$REPRO_TRACE_CACHE`` if set).  Parallel runs need a shared
+        *directory*; a memory-only cache is replaced by an ephemeral
+        temp directory that is removed afterwards.
+    tracer_factory:
+        Optional ``label -> Tracer`` callable observing each run
+        (labels come from ``labels`` or the spec index).  Tracers are
+        in-process objects, so this requires ``jobs=1``.
+    """
+    if labels is not None and len(labels) != len(specs):
+        raise ValueError(f"{len(labels)} labels for {len(specs)} specs")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    if jobs > 1 and tracer_factory is not None:
+        raise ValueError(
+            "tracer_factory observes in-process state and requires jobs=1"
+        )
+
+    if jobs == 1 or len(specs) <= 1:
+        cache = _coerce_cache(trace_cache)
+        outcomes = []
+        for i, spec in enumerate(specs):
+            tracer = None
+            if tracer_factory is not None:
+                tracer = tracer_factory(labels[i] if labels else str(i))
+            outcomes.append(RunContext(spec, cache, tracer=tracer).execute())
+        return outcomes
+
+    cache = _coerce_cache(trace_cache)
+    tmp_root: str | None = None
+    if cache.root is None:
+        tmp_root = tempfile.mkdtemp(prefix="repro-trace-cache-")
+        root: str | None = tmp_root
+    else:
+        root = str(cache.root)
+    try:
+        payloads = [(spec, root) for spec in specs]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            return list(pool.map(_execute_one, payloads))
+    finally:
+        if tmp_root is not None:
+            shutil.rmtree(tmp_root, ignore_errors=True)
+
+
+def aggregate_cache_stats(outcomes: Sequence[RunOutcome]) -> dict[str, int]:
+    """Sum the per-run trace-cache deltas of a grid."""
+    total = {"hits": 0, "misses": 0, "corrupt": 0}
+    for o in outcomes:
+        for k in total:
+            total[k] += o.cache_stats.get(k, 0)
+    return total
+
+
+@dataclass
+class SweepRun:
+    """A labeled grid plus its baseline, shaped like the legacy sweep.
+
+    ``result`` is a :class:`~repro.sim.sweep.SweepResult` (same
+    ``best()`` tie-break semantics as always); ``outcomes`` align with
+    ``result.points``; ``baseline`` is the 1-GPU normalization run.
+    """
+
+    result: object
+    baseline: RunOutcome
+    outcomes: list[RunOutcome] = field(default_factory=list)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate trace-cache traffic, baseline included."""
+        return aggregate_cache_stats([self.baseline, *self.outcomes])
+
+
+def labeled_sweep(
+    labeled_specs: Mapping[str, RunSpec],
+    jobs: int = 1,
+    trace_cache: TraceCache | str | Path | None = None,
+    tracer_factory: Callable[[str], object] | None = None,
+    baseline: RunSpec | None = None,
+) -> SweepRun:
+    """Run labeled specs plus a single-GPU baseline; report speedups.
+
+    The baseline defaults to the first spec's
+    :meth:`~RunSpec.single_gpu_baseline`.  The baseline run is never
+    traced (matching the legacy ``sweep()``, whose ``tracer_factory``
+    only observed sweep points).
+    """
+    from ..sim.sweep import SweepPoint, SweepResult
+
+    if not labeled_specs:
+        raise ValueError("empty sweep: no specs given")
+    labels = list(labeled_specs)
+    specs = [labeled_specs[label] for label in labels]
+    if baseline is None:
+        baseline = specs[0].single_gpu_baseline()
+
+    if tracer_factory is None:
+        outcomes = execute_grid(
+            [baseline, *specs], jobs=jobs, trace_cache=trace_cache
+        )
+        baseline_outcome, point_outcomes = outcomes[0], outcomes[1:]
+    else:
+        # Traced sweeps are in-process; keep the baseline untraced.
+        baseline_outcome = execute_grid(
+            [baseline], jobs=1, trace_cache=trace_cache
+        )[0]
+        point_outcomes = execute_grid(
+            specs,
+            jobs=jobs,
+            trace_cache=trace_cache,
+            tracer_factory=tracer_factory,
+            labels=labels,
+        )
+
+    t1 = baseline_outcome.metrics.total_time_ns
+    result = SweepResult(workload=specs[0].workload)
+    for label, outcome in zip(labels, point_outcomes):
+        result.points.append(
+            SweepPoint(
+                label=label,
+                metrics=outcome.metrics,
+                speedup=t1 / outcome.metrics.total_time_ns,
+            )
+        )
+    return SweepRun(result=result, baseline=baseline_outcome, outcomes=point_outcomes)

@@ -1,4 +1,4 @@
-"""High-level experiment runner.
+"""High-level experiment runner (legacy shim over :mod:`repro.run`).
 
 Convenience entry points the examples and benchmarks build on:
 
@@ -7,11 +7,19 @@ Convenience entry points the examples and benchmarks build on:
 * :func:`compare_paradigms` -- the paper's core experiment: trace once,
   replay under every paradigm plus the single-GPU baseline, and report
   speedups (Figure 9), byte breakdowns (Figure 10) and coalescing
-  statistics (Figure 11).
+  statistics (Figure 11).  Accepts ``jobs=N`` to fan the paradigm
+  replays over worker processes.
+
+.. deprecated::
+   These helpers are thin shims kept for source compatibility.  New
+   code should build a :class:`repro.run.RunSpec` and execute it
+   through :class:`repro.run.RunContext` / :func:`repro.run.execute_grid`
+   directly -- that is where configuration knobs are plumbed now.
 
 Traces are generated once per (workload, GPU count, seed) and shared
-across paradigms, exactly like replaying one NVBit trace through
-different simulator configurations.
+across paradigms through the content-addressed
+:class:`repro.run.TraceCache`, exactly like replaying one NVBit trace
+through different simulator configurations.
 """
 
 from __future__ import annotations
@@ -23,16 +31,21 @@ from ..gpu.compute import ComputeModel
 from ..interconnect.pcie import PCIE_GEN4, PCIeGeneration
 from ..trace.stream import WorkloadTrace
 from .metrics import RunMetrics
-from .paradigms import FinePackParadigm, Paradigm, make_paradigm
+from .paradigms import Paradigm
 from .system import MultiGPUSystem
 
 #: The four bars of the paper's Figure 9.
 FIGURE9_PARADIGMS = ("p2p", "dma", "finepack", "infinite")
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class ExperimentConfig:
-    """Knobs shared by all experiment entry points."""
+    """Knobs shared by all experiment entry points.
+
+    Frozen: a config can be shared across sweep cells and worker
+    processes without any cell observing another's mutations.  Use
+    :func:`dataclasses.replace` (or build a new one) to vary a knob.
+    """
 
     n_gpus: int = 4
     iterations: int = 3
@@ -44,8 +57,45 @@ class ExperimentConfig:
     two_level: bool = False
     fabric: FabricConfig = field(default_factory=FabricConfig)
 
+    def spec_fields(self) -> dict:
+        """This config as :class:`repro.run.RunSpec` field values."""
+        return {
+            "n_gpus": self.n_gpus,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "generation": self.generation,
+            "finepack": self.finepack_config,
+            "fabric": self.fabric,
+            "compute": self.compute,
+            "barrier_ns": self.barrier_ns,
+            "topology": "two_level" if self.two_level else None,
+        }
+
+
+def _base_spec(workload, config: ExperimentConfig, paradigm: str = "finepack"):
+    """Best-effort spec for ``workload``; ``None`` if it has no registry
+    identity (ad-hoc workload classes run through in-process overrides)."""
+    from ..run import RunSpec
+
+    try:
+        return RunSpec.for_workload(workload, paradigm, **config.spec_fields())
+    except (ValueError, TypeError, KeyError):
+        return None
+
+
+def _override_spec(workload, config: ExperimentConfig, paradigm_name: str):
+    """Spec scaffold for unregistered workloads (never registry-resolved)."""
+    from ..run import RunSpec
+
+    return RunSpec(
+        workload=getattr(workload, "name", None) or "custom",
+        paradigm=paradigm_name,
+        **config.spec_fields(),
+    )
+
 
 def build_system(config: ExperimentConfig, n_gpus: int | None = None) -> MultiGPUSystem:
+    """Construct the system a config describes (legacy helper)."""
     return MultiGPUSystem.build(
         n_gpus=config.n_gpus if n_gpus is None else n_gpus,
         generation=config.generation,
@@ -60,9 +110,13 @@ def build_system(config: ExperimentConfig, n_gpus: int | None = None) -> MultiGP
 def _paradigm_instance(name_or_obj: str | Paradigm, config: ExperimentConfig) -> Paradigm:
     if isinstance(name_or_obj, Paradigm):
         return name_or_obj
-    if name_or_obj == "finepack":
-        return FinePackParadigm(config.finepack_config)
-    return make_paradigm(name_or_obj)
+    from ..run import RunSpec
+
+    return RunSpec(
+        workload="_paradigm_lookup",  # never resolved; only build_paradigm runs
+        paradigm=name_or_obj,
+        finepack=config.finepack_config,
+    ).build_paradigm()
 
 
 def run_workload(
@@ -77,13 +131,25 @@ def run_workload(
     ``tracer`` is an optional :class:`repro.obs.Tracer` observing the
     replay (see :mod:`repro.obs`).
     """
+    from ..run import RunContext
+
     config = config or ExperimentConfig()
-    if trace is None:
-        trace = workload.generate_trace(
-            n_gpus=config.n_gpus, iterations=config.iterations, seed=config.seed
-        )
-    system = build_system(config, n_gpus=trace.n_gpus)
-    return system.run(trace, _paradigm_instance(paradigm, config), tracer=tracer)
+    paradigm_name = paradigm if isinstance(paradigm, str) else paradigm.name
+    spec = _base_spec(workload, config, paradigm_name) or _override_spec(
+        workload, config, paradigm_name
+    )
+    if trace is not None:
+        # An explicit trace wins over the config's GPU count, exactly
+        # like the old runner sized the system from the trace.
+        spec = spec.with_options(n_gpus=trace.n_gpus)
+    ctx = RunContext(
+        spec,
+        workload=None if isinstance(workload, (str, type)) else workload,
+        trace=trace,
+        paradigm=paradigm if isinstance(paradigm, Paradigm) else None,
+        tracer=tracer,
+    )
+    return ctx.run()
 
 
 @dataclass
@@ -93,6 +159,9 @@ class ComparisonResult:
     workload: str
     single_gpu: RunMetrics
     runs: dict[str, RunMetrics]
+    #: Aggregate trace-cache traffic when run through the grid
+    #: executor; ``None`` on the in-process fallback path.
+    cache_stats: dict | None = field(default=None, compare=False)
 
     def speedup(self, paradigm: str) -> float:
         """Multi-GPU speedup over the single-GPU baseline (Figure 9)."""
@@ -123,24 +192,50 @@ def compare_paradigms(
     workload,
     paradigms: tuple[str, ...] = FIGURE9_PARADIGMS,
     config: ExperimentConfig | None = None,
+    jobs: int = 1,
+    trace_cache=None,
 ) -> ComparisonResult:
-    """Run the paper's core comparison for one workload."""
+    """Run the paper's core comparison for one workload.
+
+    With ``jobs > 1`` the baseline and the paradigm replays fan out
+    over worker processes (registered workloads and named paradigms
+    only); results are identical to the serial run.
+    """
+    from ..run import RunContext, aggregate_cache_stats, execute_grid
+
     config = config or ExperimentConfig()
-    multi_trace = workload.generate_trace(
+    base = _base_spec(workload, config)
+    spec_mode = base is not None and all(isinstance(p, str) for p in paradigms)
+
+    if spec_mode:
+        specs = [base.single_gpu_baseline()]
+        specs += [base.with_options(paradigm=p) for p in paradigms]
+        outcomes = execute_grid(specs, jobs=jobs, trace_cache=trace_cache)
+        single = outcomes[0].metrics
+        runs = {o.spec.paradigm: o.metrics for o in outcomes[1:]}
+        return ComparisonResult(
+            workload=base.workload,
+            single_gpu=single,
+            runs=runs,
+            cache_stats=aggregate_cache_stats(outcomes),
+        )
+
+    # In-process fallback: ad-hoc workloads / pre-built paradigm objects.
+    single_spec = _override_spec(workload, config, "infinite").single_gpu_baseline()
+    single = RunContext(single_spec, workload=workload).run()
+    trace = workload.generate_trace(
         n_gpus=config.n_gpus, iterations=config.iterations, seed=config.seed
     )
-    single_trace = workload.generate_trace(
-        n_gpus=1, iterations=config.iterations, seed=config.seed
-    )
-    single_system = build_system(config, n_gpus=1)
-    single = single_system.run(single_trace, make_paradigm("infinite"))
-
     runs: dict[str, RunMetrics] = {}
-    for name in paradigms:
-        system = build_system(config, n_gpus=config.n_gpus)
-        instance = _paradigm_instance(name, config)
-        runs[instance.name] = system.run(multi_trace, instance)
-    return ComparisonResult(workload=workload.name, single_gpu=single, runs=runs)
+    for p in paradigms:
+        instance = _paradigm_instance(p, config)
+        spec = _override_spec(workload, config, instance.name)
+        runs[instance.name] = RunContext(
+            spec, workload=workload, trace=trace, paradigm=instance
+        ).run()
+    return ComparisonResult(
+        workload=workload.name, single_gpu=single, runs=runs
+    )
 
 
 def geomean(values: list[float]) -> float:

@@ -5,6 +5,15 @@ ablations all share the same structure: trace once, replay under a grid
 of configurations, report speedups against the single-GPU baseline.
 :func:`sweep` captures that pattern for the benches, the CLI, and
 downstream users.
+
+.. deprecated::
+   :func:`sweep` runs arbitrary ``(system, paradigm)`` factories
+   in-process and is kept for source compatibility.  Sweeps that can
+   be described declaratively should build a grid of
+   :class:`repro.run.RunSpec` and use :func:`repro.run.labeled_sweep`,
+   which adds process-parallel execution (``jobs=N``) and the shared
+   content-addressed trace cache while producing the same
+   :class:`SweepResult` shape (identical ``best()`` tie-breaks).
 """
 
 from __future__ import annotations

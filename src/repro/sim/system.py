@@ -34,12 +34,9 @@ from ..gpu.compute import ComputeModel
 from ..gpu.gpu import GPU
 from ..interconnect.message import MessageKind, WireMessage
 from ..interconnect.pcie import PCIE_GEN4, PCIeGeneration, PCIeProtocol
-from ..interconnect.topology import (
-    Topology,
-    fully_connected,
-    single_switch,
-    two_level_tree,
-)
+from ..interconnect.topology import Topology
+from ..registry import RegistryError
+from ..registry import topologies as topology_registry
 from ..trace.intervals import IntervalSet
 from ..trace.stream import WorkloadTrace
 from .engine import Engine
@@ -91,16 +88,11 @@ class MultiGPUSystem:
         topology: Topology | None = None
         if n_gpus > 1:
             kind = topology_kind or ("two_level" if two_level else "single_switch")
-            factories = {
-                "single_switch": single_switch,
-                "two_level": two_level_tree,
-                "fully_connected": fully_connected,
-            }
-            if kind not in factories:
-                raise ValueError(
-                    f"unknown topology {kind!r}; pick from {sorted(factories)}"
-                )
-            topology = factories[kind](
+            try:
+                factory = topology_registry.resolve(kind)
+            except RegistryError as exc:
+                raise ValueError(str(exc)) from None
+            topology = factory(
                 n_gpus=n_gpus,
                 generation=generation,
                 with_credits=with_credits,

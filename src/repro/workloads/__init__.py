@@ -55,16 +55,12 @@ def small_suite() -> list[MultiGPUWorkload]:
     ]
 
 
-WORKLOADS = {
-    "jacobi": JacobiWorkload,
-    "pagerank": PagerankWorkload,
-    "sssp": SSSPWorkload,
-    "als": ALSWorkload,
-    "ct": CTWorkload,
-    "eqwp": EQWPWorkload,
-    "diffusion": DiffusionWorkload,
-    "hit": HITWorkload,
-}
+from ..registry import workloads as workload_registry
+
+#: Legacy name -> class view of :data:`repro.registry.workloads`; the
+#: submodule imports above performed the registrations.  Prefer
+#: ``registry.workloads.resolve(name)`` for lookups with suggestions.
+WORKLOADS = dict(workload_registry.items())
 
 __all__ = [
     "ALSWorkload",

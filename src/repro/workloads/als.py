@@ -31,10 +31,12 @@ from ..trace.stream import (
     RemoteStoreBatch,
     WorkloadTrace,
 )
+from ..registry import workloads as _registry
 from .base import MultiGPUWorkload, element_intervals, push_elements
 from .datasets import bipartite_ratings, owner_of_vertex, partition_bounds
 
 
+@_registry.register("als")
 class ALSWorkload(MultiGPUWorkload):
     """Alternating least squares on an rgg-like rating matrix."""
 

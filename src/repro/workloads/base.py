@@ -33,6 +33,34 @@ class MultiGPUWorkload(abc.ABC):
     ) -> WorkloadTrace:
         """Execute the workload and return its trace."""
 
+    def spec_params(self) -> dict:
+        """Constructor kwargs that recreate this instance.
+
+        The run layer (:class:`repro.run.RunSpec`) identifies a
+        workload by registry name plus these parameters, so traces can
+        be content-addressed and runs rebuilt in worker processes.  The
+        default introspects ``__init__`` and reads the same-named
+        attributes; workloads that transform an argument before storing
+        it must keep the original under the parameter's name (see
+        ``PagerankWorkload.band_fraction``) or override this method.
+        """
+        import inspect
+
+        params: dict = {}
+        for p in inspect.signature(type(self).__init__).parameters.values():
+            if p.name == "self" or p.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            if not hasattr(self, p.name):
+                raise TypeError(
+                    f"{type(self).__name__} does not store constructor "
+                    f"parameter {p.name!r}; override spec_params()"
+                )
+            params[p.name] = getattr(self, p.name)
+        return params
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r} pattern={self.comm_pattern!r}>"
 

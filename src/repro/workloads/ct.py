@@ -36,10 +36,12 @@ from ..trace.stream import (
     RemoteStoreBatch,
     WorkloadTrace,
 )
+from ..registry import workloads as _registry
 from .base import MultiGPUWorkload, contiguous_interval, push_elements
 from .datasets import partition_bounds
 
 
+@_registry.register("ct")
 class CTWorkload(MultiGPUWorkload):
     """MBIR-style CT reconstruction with scattered voxel corrections."""
 

@@ -10,10 +10,12 @@ the paper's second "regular" application.
 from __future__ import annotations
 
 from ..trace.stream import WorkloadTrace
+from ..registry import workloads as _registry
 from .base import MultiGPUWorkload
 from .grids import StencilSpec, build_stencil_trace
 
 
+@_registry.register("diffusion")
 class DiffusionWorkload(MultiGPUWorkload):
     """3-D heat/Burgers stencil over an ``n^3`` fp64 volume."""
 

@@ -10,10 +10,12 @@ Sec. V: peer-to-peer halo exchange, originally via MPI).
 from __future__ import annotations
 
 from ..trace.stream import WorkloadTrace
+from ..registry import workloads as _registry
 from .base import MultiGPUWorkload
 from .grids import StencilSpec, build_stencil_trace
 
 
+@_registry.register("eqwp")
 class EQWPWorkload(MultiGPUWorkload):
     """4th-order 3-D wave-propagation stencil over an ``n^3`` volume."""
 

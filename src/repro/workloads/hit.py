@@ -27,10 +27,12 @@ from ..trace.stream import (
     RemoteStoreBatch,
     WorkloadTrace,
 )
+from ..registry import workloads as _registry
 from .base import MultiGPUWorkload, push_elements
 from .datasets import partition_bounds
 
 
+@_registry.register("hit")
 class HITWorkload(MultiGPUWorkload):
     """Slab-decomposed 3-D FFT with all-to-all transposes."""
 

@@ -11,10 +11,12 @@ stores already scale well (paper Fig. 9).
 from __future__ import annotations
 
 from ..trace.stream import WorkloadTrace
+from ..registry import workloads as _registry
 from .base import MultiGPUWorkload
 from .grids import StencilSpec, build_stencil_trace
 
 
+@_registry.register("jacobi")
 class JacobiWorkload(MultiGPUWorkload):
     """2-D 5-point Jacobi sweep over an ``n x n`` fp64 grid."""
 

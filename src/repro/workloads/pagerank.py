@@ -34,6 +34,7 @@ from ..trace.stream import (
     RemoteStoreBatch,
     WorkloadTrace,
 )
+from ..registry import workloads as _registry
 from .base import (
     MultiGPUWorkload,
     element_intervals,
@@ -43,6 +44,7 @@ from .base import (
 from .datasets import banded_matrix, owner_of_vertex, partition_bounds
 
 
+@_registry.register("pagerank")
 class PagerankWorkload(MultiGPUWorkload):
     """Push-style synchronous PageRank on a banded (cage-like) matrix."""
 
@@ -66,6 +68,7 @@ class PagerankWorkload(MultiGPUWorkload):
             raise ValueError(f"damping must be in (0,1), got {damping}")
         self.n = n
         self.avg_degree = avg_degree
+        self.band_fraction = band_fraction
         self.band = max(1, int(n * band_fraction))
         self.damping = damping
         self.use_atomics = use_atomics

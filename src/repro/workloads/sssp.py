@@ -32,10 +32,12 @@ from ..trace.stream import (
     RemoteStoreBatch,
     WorkloadTrace,
 )
+from ..registry import workloads as _registry
 from .base import MultiGPUWorkload, element_intervals, interleave, push_elements
 from .datasets import owner_of_vertex, partition_bounds, powerlaw_graph
 
 
+@_registry.register("sssp")
 class SSSPWorkload(MultiGPUWorkload):
     """Synchronous Bellman-Ford on a power-law (indochina-like) graph."""
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Smoke benchmark for the parallel sweep executor (``make bench-smoke``).
+
+Runs one small sweep grid three ways and writes ``BENCH_sweep.json``:
+
+1. serial, cold trace cache;
+2. parallel (``--jobs``), same on-disk trace cache (now warm);
+3. serial again on the warm cache, to isolate the cache's effect.
+
+Asserts the serial and parallel metrics tables are identical (the
+executor's core guarantee) and that the warm-cache pass generated no
+traces (every lookup is a cache hit).  Exit status is non-zero if
+either property fails, so CI can gate on it.
+
+Usage::
+
+    python tools/bench_smoke.py [--jobs 2] [--out BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.run import RunSpec, aggregate_cache_stats, execute_grid  # noqa: E402
+
+
+def build_grid() -> list[RunSpec]:
+    """Two workloads x two paradigms -- small but parallelizable."""
+    specs = []
+    for workload, params in (("jacobi", {"n": 512}), ("diffusion", {"n": 96})):
+        base = RunSpec(
+            workload=workload,
+            workload_params=params,
+            n_gpus=2,
+            iterations=2,
+        )
+        specs += [base.with_options(paradigm=p) for p in ("p2p", "finepack")]
+    return specs
+
+
+def timed_run(specs, jobs: int, cache_dir: str) -> tuple[float, list, dict]:
+    start = time.perf_counter()
+    outcomes = execute_grid(specs, jobs=jobs, trace_cache=cache_dir)
+    elapsed = time.perf_counter() - start
+    return elapsed, outcomes, aggregate_cache_stats(outcomes)
+
+
+def table(outcomes) -> list[dict]:
+    return [
+        {
+            "workload": o.spec.workload,
+            "paradigm": o.spec.paradigm,
+            "total_time_ns": o.metrics.total_time_ns,
+            "wire_bytes": o.metrics.wire_bytes,
+        }
+        for o in outcomes
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    specs = build_grid()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        serial_s, serial, serial_stats = timed_run(specs, 1, cache)
+        parallel_s, parallel, parallel_stats = timed_run(specs, args.jobs, cache)
+        warm_s, warm, warm_stats = timed_run(specs, 1, cache)
+
+    serial_table, parallel_table, warm_table = map(table, (serial, parallel, warm))
+    identical = serial_table == parallel_table == warm_table
+    warm_skipped_generation = warm_stats["misses"] == 0
+
+    report = {
+        "grid": [s.canonical() for s in specs],
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "wall_clock_s": {
+            "serial_cold": round(serial_s, 4),
+            "parallel_warm_cache": round(parallel_s, 4),
+            "serial_warm_cache": round(warm_s, 4),
+        },
+        "cache_stats": {
+            "serial_cold": serial_stats,
+            "parallel_warm_cache": parallel_stats,
+            "serial_warm_cache": warm_stats,
+        },
+        "metrics_table": serial_table,
+        "serial_parallel_identical": identical,
+        "warm_cache_skipped_generation": warm_skipped_generation,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {args.out}")
+    print(
+        f"serial(cold) {serial_s:.2f}s  "
+        f"jobs={args.jobs}(warm) {parallel_s:.2f}s  "
+        f"serial(warm) {warm_s:.2f}s"
+    )
+    print(f"serial == parallel tables: {identical}")
+    print(
+        f"warm cache: {warm_stats['hits']} hits, "
+        f"{warm_stats['misses']} misses (generation skipped: "
+        f"{warm_skipped_generation})"
+    )
+    if not identical:
+        print("FAIL: parallel metrics diverge from serial", file=sys.stderr)
+        return 1
+    if not warm_skipped_generation:
+        print("FAIL: warm cache still generated traces", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
