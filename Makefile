@@ -1,13 +1,16 @@
 # Convenience targets for the FinePack reproduction.
 
-.PHONY: install test bench bench-smoke quick verify docs report clean
+.PHONY: install test bench bench-smoke bench-perf quick verify docs report clean
 
 install:
-	python setup.py develop
+	pip install -e .
 
+# PYTHONPATH=src so the suite runs without 'make install'.
+test: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 test:
 	pytest tests/
 
+quick: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 quick:
 	pytest tests/ -x -q -m "not slow"
 
@@ -33,6 +36,14 @@ bench:
 bench-smoke:
 	python tools/bench_smoke.py --jobs 2 --out BENCH_sweep.json
 
+# Fast-path perf benchmark: full workload suite under vectorized and
+# scalar configurations, asserting byte-identical metrics.  Emits
+# BENCH_core.json and gates against the committed baseline's speedup.
+bench-perf:
+	python tools/bench_perf.py --out BENCH_core.json --check BENCH_core.json
+
+# PYTHONPATH=src so docs regenerate without 'make install'.
+docs: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 docs:
 	python tools/gen_api_docs.py
 

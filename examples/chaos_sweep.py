@@ -24,7 +24,7 @@ from repro.faults import (
     list_scenarios,
     load_scenario,
 )
-from repro.sim.runner import _paradigm_instance
+from repro.run import RunSpec
 from repro.sim.system import MultiGPUSystem
 from repro.workloads import JacobiWorkload
 
@@ -55,7 +55,10 @@ def main() -> None:
     )
     trace = JacobiWorkload().generate_trace(n_gpus=4, iterations=3, seed=0)
     try:
-        system.run(trace, _paradigm_instance("finepack", config))
+        paradigm = RunSpec.for_workload(
+            JacobiWorkload(), "finepack", **config.spec_fields()
+        ).build_paradigm()
+        system.run(trace, paradigm)
         raise AssertionError("partition scenario should degrade the run")
     except DegradedRunError as err:
         m = err.metrics

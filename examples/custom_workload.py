@@ -17,6 +17,9 @@ FinePack targets.
 
 import numpy as np
 
+# compare_paradigms/ExperimentConfig are maintained shims over the run
+# layer (RunSpec + execute_grid); see docs/architecture.md, "Migration
+# from the legacy entry points".
 from repro import ExperimentConfig, compare_paradigms
 from repro.analysis import format_table
 from repro.gpu.compute import KernelWork

@@ -12,6 +12,9 @@ Walks through the paper's motivation on PageRank and SSSP:
     python examples/irregular_graph_analytics.py
 """
 
+# compare_paradigms/ExperimentConfig are maintained shims over the run
+# layer (RunSpec + execute_grid); see docs/architecture.md, "Migration
+# from the legacy entry points".
 from repro import ExperimentConfig, compare_paradigms
 from repro.analysis import breakdown_rows, format_table
 from repro.gpu import size_histogram

@@ -13,6 +13,9 @@ diffusion, hit (default: jacobi).
 
 import sys
 
+# compare_paradigms/ExperimentConfig are maintained shims over the run
+# layer (RunSpec + execute_grid); see docs/architecture.md, "Migration
+# from the legacy entry points".
 from repro import ExperimentConfig, compare_paradigms
 from repro.analysis import format_table
 from repro.workloads import WORKLOADS

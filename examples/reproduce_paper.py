@@ -21,6 +21,9 @@ from repro.analysis import (
     format_speedup_table,
     format_table,
 )
+# compare_paradigms/ExperimentConfig are maintained shims over the run
+# layer (RunSpec + execute_grid); see docs/architecture.md, "Migration
+# from the legacy entry points".
 from repro.sim.runner import ExperimentConfig, compare_paradigms, geomean
 from repro.workloads import default_suite, small_suite
 

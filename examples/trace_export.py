@@ -19,9 +19,9 @@ the CLI as ``python -m repro run jacobi finepack --trace-out trace.json``.
 
 import sys
 
-from repro import ExperimentConfig, run_workload
 from repro.analysis import format_link_timeline
 from repro.obs import InvariantChecker, Tracer, read_jsonl, write_chrome_trace, write_jsonl
+from repro.run import RunContext, RunSpec
 from repro.sim.paradigms import PARADIGMS
 from repro.workloads import WORKLOADS
 
@@ -37,13 +37,13 @@ def main() -> None:
     # The tracer records typed events and checks conservation invariants
     # online (byte conservation, link exclusivity, empty queues at
     # barriers); a violation raises InvariantViolation immediately.
+    # (Legacy form: run_workload(w, paradigm, config, tracer=tracer) --
+    # see the migration table in docs/architecture.md.)
     tracer = Tracer()
-    metrics = run_workload(
-        WORKLOADS[workload](),
-        paradigm,
-        ExperimentConfig(n_gpus=4, iterations=2),
-        tracer=tracer,
+    spec = RunSpec(
+        workload=workload, paradigm=paradigm, n_gpus=4, iterations=2
     )
+    metrics = RunContext(spec, tracer=tracer).run()
     print(f"{workload}/{paradigm}: {metrics.total_time_ns / 1e6:.3f} ms, "
           f"{len(tracer.events)} events recorded")
     print(format_link_timeline(tracer))

@@ -16,6 +16,11 @@ Commands
     Replay a saved trace under a paradigm.
 ``goodput``
     Print the Figure 2 goodput table.
+``profile``
+    Run one workload/paradigm under the stage profiler
+    (:mod:`repro.perf`) and print where the wall clock went; with
+    ``--scalar`` the vectorized fast paths are disabled so the two
+    modes can be compared (their metrics are byte-identical).
 ``chaos``
     Sweep a fault scenario's intensity across paradigms and print the
     degradation curve (see :mod:`repro.faults`).
@@ -434,6 +439,45 @@ def cmd_chaos(args, out) -> int:
     return 0
 
 
+def cmd_profile(args, out) -> int:
+    import json
+
+    from .perf.harness import profile_run
+    from .run import RunSpec, TraceCache
+
+    if args.repeat < 1:
+        raise SystemExit(f"--repeat must be >= 1, got {args.repeat}")
+    spec = RunSpec.for_workload(
+        _workload(args.workload), args.paradigm, **_config(args).spec_fields()
+    )
+    # One in-memory cache across repeats: the first run pays trace
+    # generation, later ones profile the simulator alone.
+    cache = TraceCache(args.trace_cache) if args.trace_cache else TraceCache()
+    results = [
+        profile_run(spec, scalar=args.scalar, trace_cache=cache)
+        for _ in range(args.repeat)
+    ]
+    best = min(results, key=lambda r: r.wall_ns)
+    mode = "scalar" if args.scalar else "fast"
+    if args.repeat > 1:
+        walls = ", ".join(f"{r.wall_ns / 1e6:.1f}" for r in results)
+        print(f"wall_ms per repeat ({mode}): {walls}  (best shown)", file=out)
+    print(
+        f"{args.workload}/{args.paradigm} [{mode}]: "
+        f"{best.wall_ns / 1e6:.1f} ms wall, "
+        f"{best.profiler.total_ns() / 1e6:.1f} ms instrumented",
+        file=out,
+    )
+    print(best.profiler.report(), file=out)
+    print(f"metrics fingerprint: {best.fingerprint}", file=out)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(best.as_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=out)
+    return 0
+
+
 def cmd_goodput(args, out) -> int:
     rows = [
         [p.size, p.pcie, p.nvlink, "measured" if p.measured else "projected"]
@@ -562,6 +606,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_args(p)
     _add_parallel_args(p)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "profile", help="attribute one run's wall clock to simulator stages"
+    )
+    p.add_argument("workload")
+    p.add_argument(
+        "paradigm", nargs="?", default="finepack", choices=sorted(PARADIGMS)
+    )
+    p.add_argument(
+        "--scalar",
+        action="store_true",
+        help="disable the vectorized fast paths (profile the scalar "
+        "reference implementation)",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="profile N times and report the fastest (default 1)",
+    )
+    p.add_argument(
+        "--json", default=None, metavar="FILE", help="write the report as JSON"
+    )
+    p.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the workload-trace cache (default: in-memory "
+        "for this invocation)",
+    )
+    _add_system_args(p)
+    p.set_defaults(fn=cmd_profile)
 
     sub.add_parser("goodput", help="print the Fig. 2 goodput table").set_defaults(
         fn=cmd_goodput

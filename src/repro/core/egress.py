@@ -26,6 +26,8 @@ import numpy as np
 
 from ..interconnect.message import MessageKind, WireMessage
 from ..interconnect.pcie import PCIeProtocol
+from ..perf import profiler as _prof
+from ..perf.batch import ATOMIC_CODE, STORE_CODE, MessageBatch
 from .config import FinePackConfig
 from .packetizer import Packetizer
 from .remote_write_queue import FlushedWindow, FlushReason, RemoteWriteQueue
@@ -102,6 +104,45 @@ class PassthroughEgress:
     def on_release(self, time: float) -> list[WireMessage]:
         self.stats.releases += 1
         return []
+
+    def batch_ops(
+        self,
+        addrs: np.ndarray,
+        sizes: np.ndarray,
+        dsts: np.ndarray,
+        times: np.ndarray,
+        is_atomic: np.ndarray,
+    ) -> MessageBatch | None:
+        """Whole-phase store/atomic stream as one :class:`MessageBatch`.
+
+        Semantically one :meth:`on_store`/:meth:`on_atomic` call per
+        element, in order; the engine is stateless so the batch is just
+        the concatenation of the per-op messages.  Returns ``None``
+        when any size is invalid -- the caller then replays the ops
+        through the scalar path so the error (and the stats mutated
+        before it) match the scalar run exactly.
+        """
+        n = int(sizes.size)
+        if n and (
+            int(sizes.min()) <= 0 or int(sizes.max()) > self.protocol.max_payload
+        ):
+            return None
+        payload, overhead = self.protocol.store_wire_cost_batch(sizes)
+        n_atomic = int(is_atomic.sum())
+        self.stats.stores_in += n - n_atomic
+        self.stats.atomics_in += n_atomic
+        self.stats.messages_out += n
+        return MessageBatch(
+            src=self.src,
+            dst=np.asarray(dsts, dtype=np.int64),
+            payload=payload,
+            overhead=overhead,
+            kind=np.where(is_atomic, ATOMIC_CODE, STORE_CODE).astype(np.uint8),
+            issue=np.asarray(times, dtype=np.float64),
+            packed=np.ones(n, dtype=np.int64),
+            starts=np.asarray(addrs, dtype=np.int64),
+            lengths=np.asarray(sizes, dtype=np.int64),
+        )
 
 
 class WriteCombiningEgress:
@@ -311,6 +352,9 @@ class FinePackEgress:
         self, windows: list[tuple[int, FlushedWindow]], time: float
     ) -> list[WireMessage]:
         msgs = []
+        prof = _prof.ACTIVE
+        if prof is not None and windows:
+            prof.begin("packetizer_rwq")
         for dst, window in windows:
             packet = self.packetizer.packetize(window)
             msgs.append(self.packetizer.to_wire_message(packet, self.src, dst, time))
@@ -324,6 +368,8 @@ class FinePackEgress:
                     time_ns=time,
                     pending_entries=self.queue.partition(dst).entry_count,
                 )
+        if prof is not None and windows:
+            prof.end()
         return msgs
 
     def _expire_idle(self, now: float) -> list[WireMessage]:
@@ -350,9 +396,13 @@ class FinePackEgress:
         self.stats.stores_in += 1
         msgs = self._expire_idle(time)
         self._last_activity[dst] = time
-        msgs.extend(
-            self._windows_to_messages(self.queue.insert(addr, size, dst, data), time)
-        )
+        prof = _prof.ACTIVE
+        if prof is not None:
+            prof.begin("packetizer_rwq")
+        windows = self.queue.insert(addr, size, dst, data)
+        if prof is not None:
+            prof.end()
+        msgs.extend(self._windows_to_messages(windows, time))
         if self.tracer is not None:
             self.tracer.rwq_enqueue(
                 self.src,

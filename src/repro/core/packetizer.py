@@ -13,6 +13,8 @@ import numpy as np
 
 from ..interconnect.message import MessageKind, WireMessage
 from ..interconnect.pcie import PCIeProtocol
+from ..perf.batch import masks_to_runs
+from ..perf.config import get_perf_config
 from .config import FinePackConfig
 from .packet import FinePackPacket, SubTransaction
 from .remote_write_queue import FlushedWindow
@@ -25,18 +27,36 @@ class Packetizer:
         self.config = config
         self.protocol = protocol
         self.packets_built = 0
+        # masks_to_runs packs masks into whole bytes, so the vectorized
+        # path needs byte-aligned entries (the default 128 qualifies).
+        self._fast = get_perf_config().vector_rwq and config.entry_bytes % 8 == 0
 
     def packetize(self, window: FlushedWindow) -> FinePackPacket:
         """Turn one flushed window into a FinePack packet."""
         cfg = self.config
         subs: list[SubTransaction] = []
-        for entry in window.entries:
-            for start, length in entry.runs(cfg.entry_bytes):
-                offset = entry.line_addr + start - window.base_addr
-                data = None
-                if entry.data is not None:
-                    data = bytes(entry.data[start : start + length])
-                subs.append(SubTransaction(offset=offset, length=length, data=data))
+        if self._fast and all(e.data is None for e in window.entries):
+            rows, starts, lengths = masks_to_runs(
+                [e.mask for e in window.entries], cfg.entry_bytes
+            )
+            line_addrs = np.asarray(
+                [e.line_addr for e in window.entries], dtype=np.int64
+            )
+            offsets = line_addrs[rows] + starts - window.base_addr
+            subs = [
+                SubTransaction(offset=o, length=ln)
+                for o, ln in zip(offsets.tolist(), lengths.tolist())
+            ]
+        else:
+            for entry in window.entries:
+                for start, length in entry.runs(cfg.entry_bytes):
+                    offset = entry.line_addr + start - window.base_addr
+                    data = None
+                    if entry.data is not None:
+                        data = bytes(entry.data[start : start + length])
+                    subs.append(
+                        SubTransaction(offset=offset, length=length, data=data)
+                    )
         self.packets_built += 1
         return FinePackPacket(
             base_addr=window.base_addr,

@@ -31,6 +31,7 @@ import dataclasses
 import enum
 from dataclasses import dataclass, field
 
+from ..perf.config import get_perf_config
 from .config import FinePackConfig
 
 
@@ -122,6 +123,14 @@ class QueuePartition:
         self._payload_cost = 0
         self._stores_absorbed = 0
         self.stats = PartitionStats()
+        # The config's derived values are computed properties; the
+        # insert path touches them per store, so cache them here.
+        self._entry_bytes = config.entry_bytes
+        self._subheader = config.subheader_bytes
+        self._max_payload = config.max_payload_bytes
+        self._max_entries = config.queue_entries_per_partition
+        self._window_bytes = config.window_bytes
+        self._fast_cost = get_perf_config().vector_rwq
 
     # -- inspection -------------------------------------------------
 
@@ -140,11 +149,22 @@ class QueuePartition:
     @property
     def available_payload(self) -> int:
         """Remaining payload budget (max payload minus committed cost)."""
-        return self.config.max_payload_bytes - self._payload_cost
+        return self._max_payload - self._payload_cost
 
     def _entry_cost(self, entry: QueueEntry) -> int:
-        runs = entry.runs(self.config.entry_bytes)
-        return sum(length for _, length in runs) + len(runs) * self.config.subheader_bytes
+        if self._fast_cost:
+            # Enabled bytes plus one sub-header per maximal run, without
+            # materializing the run list: popcount counts the data
+            # bytes, and ``mask & ~(mask << 1)`` keeps exactly each
+            # run's lowest set bit (masks never exceed entry_bytes
+            # bits, so the shift cannot fabricate a run start).
+            mask = entry.mask
+            return (
+                mask.bit_count()
+                + (mask & ~(mask << 1)).bit_count() * self._subheader
+            )
+        runs = entry.runs(self._entry_bytes)
+        return sum(length for _, length in runs) + len(runs) * self._subheader
 
     def matches_load(self, addr: int, size: int) -> bool:
         """Whether a load of [addr, addr+size) overlaps buffered bytes."""
@@ -175,7 +195,7 @@ class QueuePartition:
         """
         if size <= 0:
             raise ValueError(f"store size must be positive: {size}")
-        line_bytes = self.config.entry_bytes
+        line_bytes = self._entry_bytes
         flushes: list[FlushedWindow] = []
         pos = 0
         while pos < size:
@@ -189,17 +209,17 @@ class QueuePartition:
     def _insert_within_line(
         self, addr: int, size: int, data: bytes | None
     ) -> list[FlushedWindow]:
-        cfg = self.config
         flushes: list[FlushedWindow] = []
         self.stats.stores_in += 1
 
-        if self.base_addr is not None:
-            in_window = cfg.in_window(self.base_addr, addr)
+        base = self.base_addr
+        if base is not None:
+            in_window = base <= addr < base + self._window_bytes
             # The paper's conservative admission check: incoming length
             # plus one sub-header must fit the available payload.
-            fits = size + cfg.subheader_bytes <= self.available_payload
-            line = addr & ~(cfg.entry_bytes - 1)
-            has_room = line in self._entries or self.entry_count < cfg.queue_entries_per_partition
+            fits = size + self._subheader <= self._max_payload - self._payload_cost
+            line = addr & ~(self._entry_bytes - 1)
+            has_room = line in self._entries or len(self._entries) < self._max_entries
             if not in_window:
                 flushes.append(self._flush(FlushReason.WINDOW_MISS))
             elif not fits:
@@ -208,9 +228,9 @@ class QueuePartition:
                 flushes.append(self._flush(FlushReason.ENTRIES_FULL))
 
         if self.base_addr is None:
-            self.base_addr = cfg.window_base(addr)
+            self.base_addr = addr & ~(self._window_bytes - 1)
 
-        line = addr & ~(cfg.entry_bytes - 1)
+        line = addr & ~(self._entry_bytes - 1)
         off = addr - line
         entry = self._entries.get(line)
         if entry is None:
@@ -224,7 +244,7 @@ class QueuePartition:
         entry.mask |= span_mask
         if data is not None:
             if entry.data is None:
-                entry.data = bytearray(cfg.entry_bytes)
+                entry.data = bytearray(self._entry_bytes)
             entry.data[off : off + size] = data
         self._payload_cost += self._entry_cost(entry) - old_cost
         self._stores_absorbed += 1
@@ -281,6 +301,7 @@ class MultiWindowPartition:
         self.dst = dst
         self._subs = [QueuePartition(sub_config, dst) for _ in range(windows)]
         self._lru: list[int] = list(range(windows))
+        self._window_bytes = config.window_bytes
         self.stats = PartitionStats()
 
     @property
@@ -311,7 +332,7 @@ class MultiWindowPartition:
         # two windows holding the same line deliver same-address stores
         # out of order at flush time.
         flushes: list[FlushedWindow] = []
-        window_bytes = self.config.window_bytes
+        window_bytes = self._window_bytes
         pos = 0
         while pos < size:
             offset = (addr + pos) % window_bytes

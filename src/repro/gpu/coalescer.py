@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..perf import profiler as _prof
+
 #: L1/L2 cache line size (Table III).
 LINE_BYTES = 128
 
@@ -66,6 +68,9 @@ def coalesce_stream(
     if addrs.max() + sizes.max() >= _WARP_STRIDE:
         raise ValueError("addresses exceed the supported 48-bit range")
 
+    prof = _prof.ACTIVE
+    if prof is not None:
+        prof.begin("coalescer")
     warp = np.arange(addrs.size, dtype=np.int64) // warp_size
     vstart = addrs + warp * _WARP_STRIDE
     vend = vstart + sizes
@@ -103,6 +108,8 @@ def coalesce_stream(
     txn_warp = tx_start // _WARP_STRIDE
     txn_addrs = tx_start - txn_warp * _WARP_STRIDE
     txn_sizes = tx_end - tx_start
+    if prof is not None:
+        prof.end()
     return txn_addrs, txn_sizes, txn_warp
 
 

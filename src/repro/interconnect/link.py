@@ -22,7 +22,7 @@ import numpy as np
 
 from ..faults.state import LinkFaultState
 from .flowcontrol import CreditPool
-from .message import MessageKind, WireMessage
+from .message import KINDS_BY_CODE, MessageKind, WireMessage
 
 #: DLL replay cap: a packet corrupted this many times in a row stops
 #: being retried (the real DLL would retrain the link instead).  Hitting
@@ -246,6 +246,62 @@ class Link:
                 self.name, msg, start, end, credit_bytes=credit_bytes
             )
         return start, delivery
+
+    def transmit_batch(
+        self,
+        ready: np.ndarray,
+        wire_bytes: np.ndarray,
+        payload: np.ndarray,
+        overhead: np.ndarray,
+        stores_packed: np.ndarray,
+        kinds: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`transmit` for the fault-free, uncredited case.
+
+        ``ready`` must be in the order the event engine would call
+        :meth:`transmit` (global issue order).  Returns the delivery
+        times.  The busy-time chain is a sequential Python loop over
+        unboxed floats -- the identical additions in the identical
+        order as the scalar path -- so timings are byte-identical, not
+        merely close; only the stats summation and the final
+        propagation add are vectorized (both order-insensitive or
+        elementwise).
+        """
+        if (
+            self.credits is not None
+            or self.fault_state is not None
+            or self._rng is not None
+            or self.tracer is not None
+        ):
+            raise RuntimeError(
+                f"link {self.name} is stateful (credits/faults/replay/tracer); "
+                "batch transmission would not be byte-identical"
+            )
+        durations = wire_bytes / self.bytes_per_ns
+        ends = np.empty_like(durations)
+        busy = self.busy_until
+        busy_time = self.stats.busy_time_ns
+        i = 0
+        for r, d in zip(ready.tolist(), durations.tolist()):
+            start = r if r > busy else busy
+            busy = start + d
+            ends[i] = busy
+            busy_time += d
+            i += 1
+        self.busy_until = busy
+        st = self.stats
+        st.busy_time_ns = busy_time
+        st.messages += int(ready.size)
+        st.payload_bytes += int(payload.sum())
+        st.overhead_bytes += int(overhead.sum())
+        st.stores_packed += int(stores_packed.sum())
+        codes, first_seen, counts = np.unique(
+            kinds, return_index=True, return_counts=True
+        )
+        for j in np.argsort(first_seen, kind="stable").tolist():
+            kind = KINDS_BY_CODE[int(codes[j])]
+            st.by_kind[kind] = st.by_kind.get(kind, 0) + int(counts[j])
+        return ends + self.propagation_ns
 
     def reset(self) -> None:
         """Clear timing state and counters (between runs).

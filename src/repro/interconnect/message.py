@@ -46,6 +46,15 @@ class MessageKind(enum.Enum):
     ATOMIC = "atomic"
 
 
+#: Stable small-integer codes for :class:`MessageKind`, used by the
+#: vectorized fast paths (``repro.perf``) to carry kinds in uint8
+#: arrays instead of object arrays.  ``KINDS_BY_CODE[code]`` inverts.
+KINDS_BY_CODE: tuple[MessageKind, ...] = tuple(MessageKind)
+KIND_CODES: dict[MessageKind, int] = {
+    kind: code for code, kind in enumerate(KINDS_BY_CODE)
+}
+
+
 @dataclass(slots=True)
 class WireMessage:
     """One transaction-layer packet occupying an interconnect link.

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 #: Bytes per doubleword; TLP payloads are DW-granular on the wire.
 DW_BYTES = 4
 
@@ -171,6 +173,28 @@ class PCIeProtocol:
             stream = padded + self.per_tlp_overhead
             overhead += round(stream * (self.flit_overhead_factor - 1.0))
         return nbytes, overhead
+
+    def store_wire_cost_batch(self, sizes) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`store_wire_cost` over an int array.
+
+        Returns ``(payload, overhead)`` int64 arrays; element ``i``
+        equals ``store_wire_cost(sizes[i])`` exactly (``np.rint`` and
+        Python's ``round`` share half-even rounding, so FLIT mode
+        matches too).  Invalid sizes raise the scalar path's error for
+        the first offender, in order.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        bad = np.flatnonzero((sizes <= 0) | (sizes > self.max_payload))
+        if bad.size:
+            self.store_wire_cost(int(sizes[bad[0]]))  # raises
+        padded = -(-sizes // DW_BYTES) * DW_BYTES
+        overhead = self.per_tlp_overhead + (padded - sizes)
+        if self.flit_mode:
+            stream = padded + self.per_tlp_overhead
+            overhead = overhead + np.rint(
+                stream * (self.flit_overhead_factor - 1.0)
+            ).astype(np.int64)
+        return sizes, overhead
 
     def store_goodput(self, nbytes: int) -> float:
         """Fraction of on-wire bytes that are useful for an nbytes store."""

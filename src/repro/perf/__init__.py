@@ -1,0 +1,35 @@
+"""Hot-path acceleration: perf toggles, stage profiler, fast paths.
+
+Three pieces (see ``docs/performance.md``):
+
+* :class:`PerfConfig` -- process-global toggles selecting the
+  numpy-vectorized fast paths; all on by default, every one proven
+  byte-identical to its scalar reference path.
+* :class:`StageProfiler` / :func:`profiled` -- wall-clock attribution
+  to named simulator stages, driving ``repro profile``.
+* The batch machinery itself lives in :mod:`repro.perf.batch` and
+  :mod:`repro.perf.transport`, and the profiling entry points in
+  :mod:`repro.perf.harness`; they are imported explicitly by their
+  callers (not re-exported here) to keep this package importable from
+  the innermost simulator modules without cycles.
+"""
+
+from .config import (
+    PERF_ENV,
+    PerfConfig,
+    get_perf_config,
+    perf_overrides,
+    set_perf_config,
+)
+from .profiler import STAGES, StageProfiler, profiled
+
+__all__ = [
+    "PERF_ENV",
+    "PerfConfig",
+    "get_perf_config",
+    "set_perf_config",
+    "perf_overrides",
+    "STAGES",
+    "StageProfiler",
+    "profiled",
+]

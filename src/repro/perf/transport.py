@@ -1,0 +1,185 @@
+"""Batch transport: bulk link serialization without per-message events.
+
+The scalar system schedules one discrete event per message; each event
+routes its message hop by hop through :meth:`Link.transmit`.  That is
+byte-exact but pays Python dispatch per message.  This module computes
+the *same* timings with per-link batched arithmetic:
+
+1. All of an iteration's messages are flattened into parallel arrays
+   and sorted by issue time (stable, preserving scheduling order for
+   ties -- exactly the engine's ``(time, seq)`` ordering).
+2. Messages advance hop position by hop position; at each hop the
+   messages crossing a given link are handed to
+   :meth:`Link.transmit_batch` together, in global issue order.
+
+Step 2 reproduces the scalar per-link call order only when no link is
+used at two different hop positions: the scalar engine interleaves
+*all* traffic in issue order, so a link serving hop 0 for one GPU pair
+and hop 2 for another would see its calls interleaved, not phased.
+:func:`build_plan` therefore verifies the topology's routes are
+hop-position-disjoint and the system falls back to the event-driven
+path otherwise (e.g. the two-level tree, where a GPU's ingress link is
+hop 1 for intra-leaf traffic but hop 3 for cross-leaf traffic).
+
+Equally, anything that makes per-message transmission stateful beyond
+the busy-time chain -- flow-control credits, armed fault schedules,
+error-rate replay RNGs, tracers -- disqualifies the batch path; see
+:func:`links_eligible`.  The float arithmetic inside the batch is
+element-for-element the scalar arithmetic (the per-link busy chain
+stays a sequential loop), so results are byte-identical, not just
+close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .batch import FINEPACK_CODE, KINDS_BY_CODE, PACKED_KIND_CODES
+
+Edge = tuple[str, str]
+
+
+def links_eligible(topology) -> bool:
+    """Whether every link can be timed by the pure busy-chain model."""
+    for link in topology.links.values():
+        if (
+            link.credits is not None
+            or link.fault_state is not None
+            or link.tracer is not None
+            or link._rng is not None
+        ):
+            return False
+    return True
+
+
+def build_plan(topology) -> dict[tuple[int, int], tuple[Edge, ...]] | None:
+    """Fault-free route (edge list) per GPU pair, or ``None``.
+
+    Returns ``None`` when any link appears at two different hop
+    positions across the pair routes (see module docstring).
+    """
+    plan: dict[tuple[int, int], tuple[Edge, ...]] = {}
+    hop_of_link: dict[Edge, int] = {}
+    for s in range(topology.n_gpus):
+        for d in range(topology.n_gpus):
+            if s == d:
+                continue
+            nodes = topology._path(s, d)
+            edges = tuple(zip(nodes, nodes[1:]))
+            for hop, edge in enumerate(edges):
+                if hop_of_link.setdefault(edge, hop) != hop:
+                    return None
+            plan[(s, d)] = edges
+    return plan
+
+
+def transmit_flat(
+    topology,
+    plan: dict[tuple[int, int], tuple[Edge, ...]],
+    src: np.ndarray,
+    dst: np.ndarray,
+    issue: np.ndarray,
+    wire: np.ndarray,
+    payload: np.ndarray,
+    overhead: np.ndarray,
+    packed: np.ndarray,
+    kinds: np.ndarray,
+) -> np.ndarray:
+    """Serialize pre-sorted messages through the fabric; returns
+    delivery times aligned with the inputs.
+
+    All arrays must already be in global issue order (stable-sorted by
+    issue time) -- the order the scalar engine would process them.
+    """
+    ready = np.array(issue, dtype=np.float64, copy=True)
+    if ready.size == 0:
+        return ready
+    if bool((src == dst).any()):
+        # Match Topology.route's contract for self-traffic.
+        raise ValueError("local traffic must not enter the interconnect")
+    n_gpus = topology.n_gpus
+    keys = src * n_gpus + dst
+    groups: list[tuple[tuple[Edge, ...], np.ndarray]] = []
+    max_hops = 0
+    for key in np.unique(keys).tolist():
+        s, d = divmod(key, n_gpus)
+        edges = plan[(s, d)]
+        groups.append((edges, np.flatnonzero(keys == key)))
+        max_hops = max(max_hops, len(edges))
+    forwarding = topology.forwarding_ns
+    for hop in range(max_hops):
+        by_link: dict[Edge, list[np.ndarray]] = {}
+        for edges, idx in groups:
+            if len(edges) > hop:
+                if hop > 0:
+                    ready[idx] += forwarding
+                by_link.setdefault(edges[hop], []).append(idx)
+        for edge, parts in by_link.items():
+            # Merged ascending indices == global issue order, which is
+            # the order the scalar engine calls this link in.
+            idx = parts[0] if len(parts) == 1 else np.sort(np.concatenate(parts))
+            ready[idx] = topology.links[edge].transmit_batch(
+                ready[idx],
+                wire[idx],
+                payload[idx],
+                overhead[idx],
+                packed[idx],
+                kinds[idx],
+            )
+    return ready
+
+
+def drain_and_record(
+    deliveries: np.ndarray,
+    dst: np.ndarray,
+    payload: np.ndarray,
+    packed: np.ndarray,
+    kinds: np.ndarray,
+    order: np.ndarray,
+    obj_refs: list,
+    depacketizers: list,
+    drain_rates: np.ndarray,
+    packets,
+) -> float:
+    """Ingress-drain every delivered message and fold packet stats.
+
+    Arrays are in global issue order; ``order`` maps each position back
+    to its original (pre-sort) flat index so FinePack messages can look
+    up their packet object in ``obj_refs``.  Returns the latest drain
+    completion time (``-inf`` when there are no messages).  Mirrors the
+    scalar ``inject`` path: FinePack packets pass the destination
+    de-packetizer's bounded buffer in issue order; everything else
+    drains at the destination HBM rate; ``packets.record`` side effects
+    are reproduced in the same order.
+    """
+    n = deliveries.size
+    if n == 0:
+        return float("-inf")
+    latest = float("-inf")
+    finepack = kinds == FINEPACK_CODE
+    nonfp = np.flatnonzero(~finepack)
+    if nonfp.size:
+        drained = deliveries[nonfp] + payload[nonfp] / drain_rates[dst[nonfp]]
+        latest = float(drained.max())
+    for pos in np.flatnonzero(finepack).tolist():
+        msg = obj_refs[int(order[pos])]
+        done = depacketizers[int(dst[pos])].admit(
+            msg.meta["packet"], float(deliveries[pos])
+        )
+        if done > latest:
+            latest = float(done)
+    # PacketStats.record equivalents, preserving issue order where the
+    # scalar structures are order-sensitive (by_kind first-seen order,
+    # packed_counts sequence).
+    packets.messages += n
+    packets.stores_carried += int(packed.sum())
+    codes, first_seen, counts = np.unique(
+        kinds, return_index=True, return_counts=True
+    )
+    for i in np.argsort(first_seen, kind="stable").tolist():
+        kind = KINDS_BY_CODE[int(codes[i])]
+        packets.by_kind[kind] = packets.by_kind.get(kind, 0) + int(counts[i])
+    packs = packed[np.isin(kinds, PACKED_KIND_CODES)]
+    if packs.size:
+        packets.packed_counts.extend(packs.tolist())
+    return latest

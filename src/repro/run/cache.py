@@ -30,6 +30,7 @@ import tempfile
 from pathlib import Path
 
 from ..obs.counters import CounterRegistry
+from ..perf import profiler as _prof
 from ..trace.stream import WorkloadTrace
 from ..trace.tracefile import load_trace, save_trace
 
@@ -97,9 +98,14 @@ class TraceCache:
         self.counters.counter("trace_cache.misses").inc()
         if workload is None:
             workload = spec.build_workload()
+        prof = _prof.ACTIVE
+        if prof is not None:
+            prof.begin("trace_generation")
         trace = workload.generate_trace(
             n_gpus=spec.n_gpus, iterations=spec.iterations, seed=spec.seed
         )
+        if prof is not None:
+            prof.end()
         self._memory[key] = trace
         if path is not None:
             self._write_atomic(path, trace)

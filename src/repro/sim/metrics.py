@@ -108,6 +108,26 @@ def classify_messages(
         lens_parts.append(np.asarray(single_lens, dtype=np.int64))
     starts = np.concatenate(starts_parts) if starts_parts else np.empty(0, np.int64)
     lens = np.concatenate(lens_parts) if lens_parts else np.empty(0, np.int64)
+    classify_ranges(
+        starts, lens, delivered_payload, final_footprint, read_set, breakdown
+    )
+    return breakdown
+
+
+def classify_ranges(
+    starts: np.ndarray,
+    lens: np.ndarray,
+    delivered_payload: int,
+    final_footprint: IntervalSet,
+    read_set: IntervalSet,
+    breakdown: ByteBreakdown,
+) -> None:
+    """Core of :func:`classify_messages`: classify pre-flattened ranges.
+
+    ``breakdown`` accumulates in place (its ``overhead`` is the
+    caller's concern).  The batch transport path calls this directly
+    with its struct-of-arrays ranges, skipping message objects.
+    """
     delivered_union = IntervalSet.from_ranges(starts, lens)
     declared = int(lens.sum())
     if declared != delivered_payload:
@@ -120,7 +140,6 @@ def classify_messages(
     breakdown.useful += useful
     breakdown.wasted_redundant += delivered_payload - unique
     breakdown.wasted_unread += unique - useful
-    return breakdown
 
 
 @dataclass

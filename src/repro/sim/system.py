@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.config import FinePackConfig
 from ..core.depacketizer import Depacketizer
 from ..faults.errors import DegradedRunError
@@ -35,12 +37,21 @@ from ..gpu.gpu import GPU
 from ..interconnect.message import MessageKind, WireMessage
 from ..interconnect.pcie import PCIE_GEN4, PCIeGeneration, PCIeProtocol
 from ..interconnect.topology import Topology
+from ..perf import profiler as _prof
+from ..perf.batch import arrays_from_messages
+from ..perf.config import get_perf_config
+from ..perf.transport import (
+    build_plan,
+    drain_and_record,
+    links_eligible,
+    transmit_flat,
+)
 from ..registry import RegistryError
 from ..registry import topologies as topology_registry
 from ..trace.intervals import IntervalSet
 from ..trace.stream import WorkloadTrace
 from .engine import Engine
-from .metrics import RunMetrics, classify_messages
+from .metrics import ByteBreakdown, RunMetrics, classify_messages, classify_ranges
 from .paradigms import Paradigm
 
 
@@ -145,6 +156,29 @@ class MultiGPUSystem:
             workload=trace.name, paradigm=paradigm.name, n_gpus=self.n_gpus
         )
 
+        prof = _prof.ACTIVE
+        # Batch-transport eligibility, decided once per run: the
+        # event-driven path stays authoritative whenever anything needs
+        # per-message hooks or stateful links (tracers, armed faults,
+        # flow-control credits, replay RNGs), or the topology reuses a
+        # link at two hop positions (the two-level tree), where batched
+        # per-hop processing would reorder the link's call sequence.
+        plan = None
+        if (
+            get_perf_config().vector_transport
+            and self.topology is not None
+            and tracer is None
+            and self.fault_injector is None
+            and links_eligible(self.topology)
+        ):
+            plan = build_plan(self.topology)
+        phase_batch = (
+            getattr(paradigm, "phase_batch", None) if plan is not None else None
+        )
+        drain_rates = np.asarray(
+            [g.hbm.drain_rate() for g in self.gpus], dtype=np.float64
+        )
+
         t = 0.0
         #: id(msg) of messages dropped because no live route remained,
         #: and the human-readable reasons (for DegradedRunError).
@@ -170,8 +204,34 @@ class MultiGPUSystem:
                 p.gpu: p.reads for p in consumer_iter.phases
             }
 
+            if plan is not None:
+                latest = self._iteration_batched(
+                    iteration,
+                    t,
+                    compute_end,
+                    consumer_reads,
+                    paradigm,
+                    phase_batch,
+                    plan,
+                    drain_rates,
+                    depacketizers,
+                    metrics,
+                    prof,
+                )
+                iteration_end = (
+                    max(max(compute_end.values()), t, latest) + self.barrier_ns
+                )
+                metrics.compute_time_ns += max(compute_end.values()) - t
+                # No tracer and no faults on this path (preconditions of
+                # the batch plan), so the scalar epilogue reduces to:
+                metrics.iteration_times_ns.append(iteration_end - t)
+                t = iteration_end
+                continue
+
             per_pair: dict[tuple[int, int], list[WireMessage]] = {}
             all_msgs: list[WireMessage] = []
+            if prof is not None:
+                prof.begin("egress")
             for phase in iteration.phases:
                 msgs = paradigm.phase_messages(
                     phase, t, compute_end[phase.gpu], consumer_reads
@@ -179,6 +239,8 @@ class MultiGPUSystem:
                 for m in msgs:
                     per_pair.setdefault((m.src, m.dst), []).append(m)
                 all_msgs.append(msgs)
+            if prof is not None:
+                prof.end()
             all_msgs = [m for msgs in all_msgs for m in msgs]
 
             completions = [t]
@@ -190,6 +252,8 @@ class MultiGPUSystem:
                     if tracer is not None
                     else None
                 )
+                if prof is not None:
+                    prof.begin("link_serialization")
                 try:
                     delivered = self.topology.route(msg, engine.now)
                 except RouteBlockedError as exc:
@@ -203,7 +267,12 @@ class MultiGPUSystem:
                     degraded_reasons.append(str(exc))
                     if msg_id is not None:
                         tracer.message_dropped(msg_id, msg, engine.now)
+                    if prof is not None:
+                        prof.end()
                     return
+                if prof is not None:
+                    prof.end()
+                    prof.begin("ingress_drain")
                 if msg.kind is MessageKind.FINEPACK:
                     drained = depacketizers[msg.dst].admit(
                         msg.meta["packet"], delivered
@@ -212,6 +281,8 @@ class MultiGPUSystem:
                     drained = delivered + msg.payload_bytes / self.gpus[
                         msg.dst
                     ].hbm.drain_rate()
+                if prof is not None:
+                    prof.end()
                 completions.append(drained)
                 metrics.packets.record(msg)
                 if msg_id is not None:
@@ -220,43 +291,33 @@ class MultiGPUSystem:
 
             for m in sorted(all_msgs, key=lambda m: m.issue_time):
                 engine.schedule(m.issue_time, inject, m)
+            if prof is not None:
+                prof.begin("engine_dispatch")
             engine.run()
+            if prof is not None:
+                prof.end()
 
             iteration_end = (
                 max(max(compute_end.values()), max(completions)) + self.barrier_ns
             )
             metrics.compute_time_ns += max(compute_end.values()) - t
 
+            if prof is not None:
+                prof.begin("metrics_classify")
             for (src, dst), msgs in per_pair.items():
                 if dropped_ids:
                     msgs = [m for m in msgs if id(m) not in dropped_ids]
                     if not msgs:
                         continue
-                src_phase = iteration.phases[src]
-                footprint = src_phase.stores.for_dst(dst).footprint()
-                if src_phase.atomics.count:
-                    footprint = footprint.union(
-                        src_phase.atomics.for_dst(dst).footprint()
-                    )
-                # Software-aggregated DMA staging buffers are genuinely
-                # written by the producer in full.
-                staged = [
-                    t
-                    for t in src_phase.dma
-                    if t.dst == dst and t.aggregated
-                ]
-                if staged:
-                    footprint = footprint.union(
-                        IntervalSet.from_ranges(
-                            [t.dst_addr for t in staged],
-                            [t.nbytes for t in staged],
-                        )
-                    )
                 metrics.bytes.add(
                     classify_messages(
-                        msgs, footprint, consumer_reads.get(dst, IntervalSet.empty())
+                        msgs,
+                        self._pair_footprint(iteration, src, dst),
+                        consumer_reads.get(dst, IntervalSet.empty()),
                     )
                 )
+            if prof is not None:
+                prof.end()
 
             if tracer is not None:
                 tracer.barrier(k, iteration_end - self.barrier_ns, iteration_end)
@@ -285,6 +346,216 @@ class MultiGPUSystem:
                 reasons=reasons,
             )
         return metrics
+
+    def _pair_footprint(self, iteration, src: int, dst: int) -> IntervalSet:
+        """Bytes the producer genuinely wrote for ``dst`` this iteration."""
+        src_phase = iteration.phases[src]
+        footprint = src_phase.stores.for_dst(dst).footprint()
+        if src_phase.atomics.count:
+            footprint = footprint.union(
+                src_phase.atomics.for_dst(dst).footprint()
+            )
+        # Software-aggregated DMA staging buffers are genuinely
+        # written by the producer in full.
+        staged = [
+            tr for tr in src_phase.dma if tr.dst == dst and tr.aggregated
+        ]
+        if staged:
+            footprint = footprint.union(
+                IntervalSet.from_ranges(
+                    [tr.dst_addr for tr in staged],
+                    [tr.nbytes for tr in staged],
+                )
+            )
+        return footprint
+
+    def _iteration_batched(
+        self,
+        iteration,
+        t: float,
+        compute_end: dict[int, float],
+        consumer_reads: dict[int, IntervalSet],
+        paradigm: Paradigm,
+        phase_batch,
+        plan,
+        drain_rates: np.ndarray,
+        depacketizers: list[Depacketizer],
+        metrics: RunMetrics,
+        prof,
+    ) -> float:
+        """One iteration through the batch transport; returns the
+        latest drain completion (``-inf`` with no traffic).
+
+        Byte-identical to the event-driven path: op streams, issue
+        times, per-link call order, stats mutation order and every
+        float operation match (see :mod:`repro.perf.transport`).
+        """
+        if prof is not None:
+            prof.begin("egress")
+        # Phase outputs in phase order: a (True, MessageBatch) when the
+        # paradigm's engine batched the whole op stream, else a
+        # (False, list[WireMessage]) from the scalar egress path.
+        items: list[tuple[bool, object]] = []
+        for phase in iteration.phases:
+            batch = None
+            if phase_batch is not None:
+                batch = phase_batch(
+                    phase, t, compute_end[phase.gpu], consumer_reads
+                )
+            if batch is not None:
+                items.append((True, batch))
+            else:
+                items.append(
+                    (
+                        False,
+                        paradigm.phase_messages(
+                            phase, t, compute_end[phase.gpu], consumer_reads
+                        ),
+                    )
+                )
+        if prof is not None:
+            prof.end()
+
+        src_p: list[np.ndarray] = []
+        dst_p: list[np.ndarray] = []
+        pay_p: list[np.ndarray] = []
+        ovh_p: list[np.ndarray] = []
+        kind_p: list[np.ndarray] = []
+        issue_p: list[np.ndarray] = []
+        packed_p: list[np.ndarray] = []
+        #: Flat per-message object refs (pre-sort order); ``None`` for
+        #: batch elements, which never need their object back.
+        obj_refs: list = []
+        for is_batch, item in items:
+            if is_batch:
+                n = len(item)
+                if n == 0:
+                    continue
+                src_p.append(np.full(n, item.src, dtype=np.int64))
+                dst_p.append(item.dst)
+                pay_p.append(item.payload)
+                ovh_p.append(item.overhead)
+                kind_p.append(item.kind)
+                issue_p.append(item.issue)
+                packed_p.append(item.packed)
+                obj_refs.extend([None] * n)
+            elif item:
+                s, d, p, o, kd, ti, pk = arrays_from_messages(item)
+                src_p.append(s)
+                dst_p.append(d)
+                pay_p.append(p)
+                ovh_p.append(o)
+                kind_p.append(kd)
+                issue_p.append(ti)
+                packed_p.append(pk)
+                obj_refs.extend(item)
+
+        latest = float("-inf")
+        if obj_refs:
+            issue = np.concatenate(issue_p)
+            # Stable sort by issue time == the engine's (time, seq)
+            # order, since seq follows the concatenation (phase) order.
+            order = np.argsort(issue, kind="stable")
+            issue = issue[order]
+            src = np.concatenate(src_p)[order]
+            dst = np.concatenate(dst_p)[order]
+            payload = np.concatenate(pay_p)[order]
+            overhead = np.concatenate(ovh_p)[order]
+            kinds = np.concatenate(kind_p)[order]
+            packed = np.concatenate(packed_p)[order]
+            if prof is not None:
+                prof.begin("link_serialization")
+            deliveries = transmit_flat(
+                self.topology,
+                plan,
+                src,
+                dst,
+                issue,
+                payload + overhead,
+                payload,
+                overhead,
+                packed,
+                kinds,
+            )
+            if prof is not None:
+                prof.end()
+                prof.begin("ingress_drain")
+            latest = drain_and_record(
+                deliveries,
+                dst,
+                payload,
+                packed,
+                kinds,
+                order,
+                obj_refs,
+                depacketizers,
+                drain_rates,
+                metrics.packets,
+            )
+            if prof is not None:
+                prof.end()
+
+        if prof is not None:
+            prof.begin("metrics_classify")
+        # Per-(src, dst) range/byte accumulators: [array-range starts,
+        # array-range lengths, scalar starts, scalar lengths, payload,
+        # overhead].  Range order inside a pair is irrelevant (interval
+        # union and int sums), so batch segments and scalar messages
+        # mix freely.
+        pair_acc: dict[tuple[int, int], list] = {}
+        for is_batch, item in items:
+            if is_batch:
+                if len(item) == 0:
+                    continue
+                d_arr = item.dst
+                uniq, first = np.unique(d_arr, return_index=True)
+                for j in np.argsort(first, kind="stable").tolist():
+                    d = int(uniq[j])
+                    idx = np.flatnonzero(d_arr == d)
+                    acc = pair_acc.setdefault(
+                        (item.src, d), [[], [], [], [], 0, 0]
+                    )
+                    acc[0].append(item.starts[idx])
+                    acc[1].append(item.lengths[idx])
+                    acc[4] += int(item.payload[idx].sum())
+                    acc[5] += int(item.overhead[idx].sum())
+            else:
+                for m in item:
+                    acc = pair_acc.setdefault(
+                        (m.src, m.dst), [[], [], [], [], 0, 0]
+                    )
+                    acc[4] += m.payload_bytes
+                    acc[5] += m.overhead_bytes
+                    single = m.meta.get("range1")
+                    if single is not None:
+                        acc[2].append(single[0])
+                        acc[3].append(single[1])
+                        continue
+                    ranges = m.meta.get("ranges")
+                    if ranges is None:
+                        raise ValueError(f"message {m} lacks range annotations")
+                    acc[0].append(np.asarray(ranges[0], dtype=np.int64))
+                    acc[1].append(np.asarray(ranges[1], dtype=np.int64))
+        for (src_gpu, dst_gpu), acc in pair_acc.items():
+            sp, lp, ss, sl, payload_sum, overhead_sum = acc
+            if ss:
+                sp.append(np.asarray(ss, dtype=np.int64))
+                lp.append(np.asarray(sl, dtype=np.int64))
+            starts = np.concatenate(sp) if sp else np.empty(0, np.int64)
+            lens = np.concatenate(lp) if lp else np.empty(0, np.int64)
+            breakdown = ByteBreakdown(overhead=overhead_sum)
+            classify_ranges(
+                starts,
+                lens,
+                payload_sum,
+                self._pair_footprint(iteration, src_gpu, dst_gpu),
+                consumer_reads.get(dst_gpu, IntervalSet.empty()),
+                breakdown,
+            )
+            metrics.bytes.add(breakdown)
+        if prof is not None:
+            prof.end()
+        return latest
 
     def _collect_fabric_stats(self, metrics: RunMetrics, total_ns: float) -> None:
         """Fold per-link counters into the run's fault/link accounting."""

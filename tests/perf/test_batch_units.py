@@ -1,0 +1,226 @@
+"""Unit-level equivalence of each vectorized primitive vs its scalar
+reference: RWQ entry costing, run extraction, batch wire costing, batch
+link serialization, and the engine's inlined dispatch loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FinePackConfig
+from repro.core.packetizer import Packetizer
+from repro.core.remote_write_queue import (
+    FlushedWindow,
+    FlushReason,
+    QueueEntry,
+    RemoteWriteQueue,
+)
+from repro.interconnect.flowcontrol import CreditPool
+from repro.interconnect.link import Link
+from repro.interconnect.message import KIND_CODES, MessageKind, WireMessage
+from repro.interconnect.pcie import PCIE_GEN3, PCIE_GEN4, PCIeProtocol
+from repro.perf import PerfConfig, get_perf_config, perf_overrides
+from repro.perf.batch import arrays_from_messages, masks_to_runs
+from repro.sim.engine import Engine
+
+
+def random_masks(rng, count: int, entry_bytes: int = 128) -> list[int]:
+    masks = []
+    for _ in range(count):
+        mask = 0
+        for _ in range(rng.integers(1, 6)):
+            start = int(rng.integers(0, entry_bytes))
+            length = int(rng.integers(1, entry_bytes - start + 1))
+            mask |= ((1 << length) - 1) << start
+        masks.append(mask)
+    return masks
+
+
+class TestMasksToRuns:
+    def test_matches_scalar_runs(self, rng):
+        entry_bytes = 128
+        masks = random_masks(rng, 200, entry_bytes)
+        rows, starts, lengths = masks_to_runs(masks, entry_bytes)
+        expected = [
+            (row, start, length)
+            for row, mask in enumerate(masks)
+            for start, length in QueueEntry(0, mask).runs(entry_bytes)
+        ]
+        got = list(zip(rows.tolist(), starts.tolist(), lengths.tolist()))
+        assert got == expected
+
+    def test_rejects_unaligned_entry_bytes(self):
+        with pytest.raises(ValueError):
+            masks_to_runs([1], 100)
+
+
+def rwq_flush_stream(fast: bool, rng) -> list:
+    """Drive an RWQ through a fixed store sequence; serialize its flushes."""
+    with perf_overrides(vector_rwq=fast):
+        queue = RemoteWriteQueue(FinePackConfig(), gpu=0, n_gpus=2)
+        base = 1 << 20
+        flushes = []
+        for _ in range(400):
+            addr = base + int(rng.integers(0, 4096))
+            size = int(rng.integers(1, 65))
+            flushes += queue.insert(addr, size, dst=1)
+        flushes += queue.flush_all(FlushReason.RELEASE)
+    return [
+        (dst, w.base_addr, w.reason, [(e.line_addr, e.mask) for e in w.entries])
+        for dst, w in flushes
+    ]
+
+
+class TestRWQEntryCost:
+    def test_same_flush_stream(self):
+        scalar = rwq_flush_stream(False, np.random.default_rng(7))
+        fast = rwq_flush_stream(True, np.random.default_rng(7))
+        assert fast == scalar
+
+
+class TestPacketizer:
+    def packetize(self, fast: bool, masks, protocol) -> list:
+        with perf_overrides(vector_rwq=fast):
+            pk = Packetizer(FinePackConfig(), protocol)
+            base = 1 << 21
+            window = FlushedWindow(
+                base_addr=base,
+                entries=[
+                    QueueEntry(line_addr=base + i * 128, mask=m)
+                    for i, m in enumerate(masks)
+                ],
+                stores_absorbed=len(masks),
+                reason=FlushReason.RELEASE,
+            )
+            packet = pk.packetize(window)
+        return [(s.offset, s.length) for s in packet.subs]
+
+    def test_same_subtransactions(self, rng, protocol):
+        masks = random_masks(rng, 30)
+        assert self.packetize(True, masks, protocol) == self.packetize(
+            False, masks, protocol
+        )
+
+
+class TestStoreWireCostBatch:
+    @pytest.mark.parametrize("gen", (PCIE_GEN3, PCIE_GEN4))
+    @pytest.mark.parametrize("flit_mode", (False, True))
+    def test_matches_scalar(self, rng, gen, flit_mode):
+        protocol = PCIeProtocol(gen, flit_mode=flit_mode)
+        sizes = rng.integers(1, protocol.max_payload + 1, size=500)
+        payload, overhead = protocol.store_wire_cost_batch(sizes)
+        for i, size in enumerate(sizes.tolist()):
+            p, o = protocol.store_wire_cost(size)
+            assert (payload[i], overhead[i]) == (p, o)
+
+    def test_raises_like_scalar(self, protocol):
+        with pytest.raises(ValueError):
+            protocol.store_wire_cost_batch(np.array([16, 0, 32]))
+        with pytest.raises(ValueError):
+            protocol.store_wire_cost_batch(np.array([protocol.max_payload + 1]))
+
+
+def wire(size: int, issue: float, kind=MessageKind.STORE) -> WireMessage:
+    return WireMessage(
+        src=0,
+        dst=1,
+        payload_bytes=size,
+        overhead_bytes=24,
+        kind=kind,
+        issue_time=issue,
+        stores_packed=1,
+    )
+
+
+class TestTransmitBatch:
+    def test_matches_sequential_transmit(self, rng):
+        msgs = [
+            wire(int(rng.integers(1, 256)), float(t))
+            for t in np.sort(rng.uniform(0, 500, size=100))
+        ]
+        a = Link("a", bytes_per_ns=2.0)
+        seq = [a.transmit(m, m.issue_time)[1] for m in msgs]
+
+        b = Link("b", bytes_per_ns=2.0)
+        _, _, payload, overhead, kind, issue, packed = arrays_from_messages(msgs)
+        deliveries = b.transmit_batch(
+            issue, payload + overhead, payload, overhead, packed, kind
+        )
+        assert deliveries.tolist() == seq
+        assert b.busy_until == a.busy_until
+        assert b.stats == a.stats
+        assert list(b.stats.by_kind) == list(a.stats.by_kind)
+
+    def test_rejects_stateful_links(self):
+        link = Link("c", bytes_per_ns=2.0, credits=CreditPool())
+        with pytest.raises(RuntimeError):
+            link.transmit_batch(
+                np.zeros(1),
+                np.ones(1),
+                np.ones(1, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.ones(1, dtype=np.int64),
+                np.zeros(1, dtype=np.uint8),
+            )
+
+
+class TestArraysFromMessages:
+    def test_fields_roundtrip(self, rng):
+        msgs = [
+            wire(int(rng.integers(1, 128)), float(i), MessageKind.FINEPACK)
+            for i in range(20)
+        ]
+        src, dst, payload, overhead, kind, issue, packed = (
+            arrays_from_messages(msgs)
+        )
+        assert src.tolist() == [0] * 20
+        assert dst.tolist() == [1] * 20
+        assert payload.tolist() == [m.payload_bytes for m in msgs]
+        assert overhead.tolist() == [24] * 20
+        assert issue.tolist() == [m.issue_time for m in msgs]
+        assert kind.tolist() == [KIND_CODES[MessageKind.FINEPACK]] * 20
+
+
+class TestEngineFastRun:
+    @pytest.mark.parametrize("fast", (False, True))
+    def test_same_dispatch_order(self, fast):
+        with perf_overrides(batch_events=fast):
+            engine = Engine()
+            seen: list = []
+            engine.schedule(2.0, seen.append, (2.0, "b"))
+            engine.schedule(1.0, seen.append, (1.0, "a"))
+            engine.schedule(1.0, seen.append, (1.0, "a2"))
+
+            def reschedule(tag):
+                seen.append((engine.now, tag))
+                if tag == "c":
+                    engine.schedule(engine.now + 1.0, reschedule, "d")
+
+            engine.schedule(3.0, reschedule, "c")
+            end = engine.run()
+        assert end == 4.0
+        assert [s[-1] for s in seen] == ["a", "a2", "b", "c", "d"]
+        assert engine.events_processed == 5
+
+
+class TestPerfConfigEnv:
+    def test_defaults_and_keywords(self):
+        assert PerfConfig.from_env("") == PerfConfig.all_on()
+        assert PerfConfig.from_env("scalar") == PerfConfig.all_off()
+        assert PerfConfig.from_env("off") == PerfConfig.all_off()
+        cfg = PerfConfig.from_env("vector_rwq=0,batch_events=1")
+        assert not cfg.vector_rwq
+        assert cfg.batch_events and cfg.vector_egress
+
+    def test_unknown_toggle_raises(self):
+        with pytest.raises(ValueError):
+            PerfConfig.from_env("warp_speed=1")
+
+    def test_overrides_scoped(self):
+        before = get_perf_config()
+        with perf_overrides(PerfConfig.all_off()):
+            assert get_perf_config() == PerfConfig.all_off()
+        assert get_perf_config() == before
+        with pytest.raises(TypeError):
+            with perf_overrides(PerfConfig.all_off(), vector_rwq=True):
+                pass

@@ -1,0 +1,107 @@
+"""Stage profiler semantics: exclusive attribution, nesting, the
+``profiled`` installer, and the ``repro profile`` CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import STAGES, StageProfiler, profiled
+from repro.perf import profiler as prof_mod
+
+
+class TestStageProfiler:
+    def test_nested_time_is_exclusive(self):
+        p = StageProfiler()
+        with p.stage("egress"):
+            with p.stage("packetizer_rwq"):
+                pass
+        ns = p.stage_ns()
+        assert ns["egress"] > 0
+        assert ns["packetizer_rwq"] > 0
+        calls = p.stage_calls()
+        assert calls["egress"] == 1
+        assert calls["packetizer_rwq"] == 1
+        # Total equals the sum of exclusive times, no double counting.
+        assert p.total_ns() == sum(ns.values())
+
+    def test_breakdown_shares_sum_to_one(self):
+        p = StageProfiler()
+        with p.stage("coalescer"):
+            pass
+        with p.stage("engine_dispatch"):
+            pass
+        rows = p.breakdown()
+        assert {r["stage"] for r in rows} == {"coalescer", "engine_dispatch"}
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+        report = p.report()
+        assert "coalescer" in report and "(instrumented total)" in report
+
+    def test_end_without_begin_raises(self):
+        p = StageProfiler()
+        with pytest.raises(IndexError):
+            p.end()
+
+    def test_profiled_installs_and_restores(self):
+        p = StageProfiler()
+        assert prof_mod.ACTIVE is None
+        with profiled(p):
+            assert prof_mod.ACTIVE is p
+            with pytest.raises(RuntimeError):
+                with profiled(StageProfiler()):
+                    pass
+        assert prof_mod.ACTIVE is None
+
+    def test_stage_names_are_known(self):
+        # Every stage the simulator charges must be a declared stage so
+        # docs and the bench report stay in sync.
+        assert set(STAGES) >= {
+            "trace_generation",
+            "coalescer",
+            "egress",
+            "packetizer_rwq",
+            "link_serialization",
+            "ingress_drain",
+            "engine_dispatch",
+            "metrics_classify",
+        }
+
+
+class TestProfileCLI:
+    def run_cli(self, *argv) -> str:
+        out = io.StringIO()
+        assert main(list(argv), out=out) == 0
+        return out.getvalue()
+
+    def test_profile_reports_stages(self):
+        text = self.run_cli(
+            "profile", "jacobi", "finepack", "--gpus", "2", "--iterations", "1"
+        )
+        assert "jacobi/finepack [fast]" in text
+        assert "packetizer_rwq" in text
+        assert "metrics fingerprint:" in text
+
+    def test_profile_json_and_scalar_match_fast(self, tmp_path):
+        fast_json = tmp_path / "fast.json"
+        scalar_json = tmp_path / "scalar.json"
+        self.run_cli(
+            "profile", "jacobi", "p2p", "--gpus", "2", "--iterations", "1",
+            "--json", str(fast_json),
+        )
+        self.run_cli(
+            "profile", "jacobi", "p2p", "--gpus", "2", "--iterations", "1",
+            "--scalar", "--json", str(scalar_json),
+        )
+        fast = json.loads(fast_json.read_text())
+        scalar = json.loads(scalar_json.read_text())
+        assert fast["mode"] == "fast" and scalar["mode"] == "scalar"
+        assert fast["metrics_fingerprint"] == scalar["metrics_fingerprint"]
+        assert fast["summary"] == scalar["summary"]
+        assert {r["stage"] for r in scalar["stages"]} <= set(STAGES)
+
+    def test_profile_rejects_bad_repeat(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("profile", "jacobi", "--repeat", "0")

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Perf-regression benchmark for the vectorized fast paths
+(``make bench-perf``).
+
+Runs the full 8-workload suite under three paradigms twice -- once with
+every fast path enabled (the default configuration) and once with the
+scalar reference paths -- on a shared pre-warmed trace cache, and
+writes ``BENCH_core.json`` with:
+
+* per-run wall clock and per-stage breakdowns (fast and scalar);
+* the end-to-end speedup ``scalar_s / fast_s``;
+* a byte-identity verdict: every run's ``RunMetrics`` fingerprint must
+  match between modes, else the exit status is non-zero.
+
+``--check BASELINE`` compares against a committed ``BENCH_core.json``
+and fails if the measured speedup drops below ``--threshold`` (default
+0.75) times the baseline speedup.  The gate is a *ratio of ratios*, so
+it is machine-independent: absolute seconds differ across CI runners,
+but "how much faster is fast than scalar on the same box" should not.
+
+Usage::
+
+    python tools/bench_perf.py [--out BENCH_core.json]
+                               [--check BENCH_core.json] [--threshold 0.75]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf.harness import profile_run  # noqa: E402
+from repro.run import RunSpec, TraceCache  # noqa: E402
+
+WORKLOADS = ("als", "ct", "diffusion", "eqwp", "hit", "jacobi", "pagerank", "sssp")
+PARADIGMS = ("p2p", "dma", "finepack")
+
+
+def build_suite() -> list[RunSpec]:
+    return [
+        RunSpec(workload=w, paradigm=p, n_gpus=4, iterations=3)
+        for w in WORKLOADS
+        for p in PARADIGMS
+    ]
+
+
+def run_suite(specs, cache, scalar: bool) -> tuple[float, list[dict]]:
+    start = time.perf_counter()
+    rows = []
+    for spec in specs:
+        result = profile_run(spec, scalar=scalar, trace_cache=cache)
+        rows.append(
+            {
+                "workload": spec.workload,
+                "paradigm": spec.paradigm,
+                "wall_ms": result.wall_ns / 1e6,
+                "stages": result.stages,
+                "fingerprint": result.fingerprint,
+            }
+        )
+    return time.perf_counter() - start, rows
+
+
+def stage_totals(rows) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for row in rows:
+        for stage in row["stages"]:
+            totals[stage["stage"]] = (
+                totals.get(stage["stage"], 0.0) + stage["ns"] / 1e6
+            )
+    return {k: round(v, 2) for k, v in sorted(totals.items())}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_core.json")
+    ap.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="fail if speedup < threshold * baseline speedup",
+    )
+    ap.add_argument("--threshold", type=float, default=0.75)
+    args = ap.parse_args(argv)
+
+    # Read the baseline up front: --check and --out may name the same
+    # committed file (the refresh-in-place workflow).
+    baseline = None
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+
+    specs = build_suite()
+    cache = TraceCache()
+    print(f"warming trace cache ({len(specs)} runs) ...", flush=True)
+    for spec in specs:
+        cache.get_or_generate(spec)
+
+    print("fast pass ...", flush=True)
+    fast_s, fast_rows = run_suite(specs, cache, scalar=False)
+    print(f"  {fast_s:.2f} s")
+    print("scalar pass ...", flush=True)
+    scalar_s, scalar_rows = run_suite(specs, cache, scalar=True)
+    print(f"  {scalar_s:.2f} s")
+
+    mismatches = [
+        (f["workload"], f["paradigm"])
+        for f, s in zip(fast_rows, scalar_rows)
+        if f["fingerprint"] != s["fingerprint"]
+    ]
+    speedup = scalar_s / fast_s if fast_s else float("inf")
+    report = {
+        "suite": {
+            "workloads": list(WORKLOADS),
+            "paradigms": list(PARADIGMS),
+            "n_gpus": 4,
+            "iterations": 3,
+        },
+        "fast_s": round(fast_s, 3),
+        "scalar_s": round(scalar_s, 3),
+        "speedup": round(speedup, 3),
+        "byte_identical": not mismatches,
+        "stage_totals_ms": {
+            "fast": stage_totals(fast_rows),
+            "scalar": stage_totals(scalar_rows),
+        },
+        "runs": {"fast": fast_rows, "scalar": scalar_rows},
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"wrote {args.out}: speedup {speedup:.2f}x "
+        f"({scalar_s:.2f} s scalar / {fast_s:.2f} s fast)"
+    )
+
+    failed = False
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} run(s) not byte-identical: {mismatches}")
+        failed = True
+    if baseline is not None:
+        floor = args.threshold * baseline["speedup"]
+        print(
+            f"baseline speedup {baseline['speedup']:.2f}x; "
+            f"gate: >= {floor:.2f}x"
+        )
+        if speedup < floor:
+            print(
+                f"FAIL: speedup {speedup:.2f}x regressed below "
+                f"{args.threshold} x baseline ({floor:.2f}x)"
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
