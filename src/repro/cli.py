@@ -28,7 +28,17 @@ Commands
 ``run``, ``compare`` and ``sweep`` accept ``--error-rate P`` to give
 every link a baseline per-byte corruption probability (DLL replay
 injection); nonzero fault activity adds a per-link fabric-stats table
-to ``run`` output.
+to ``run`` output.  They also accept ``--topology KIND`` (any
+registered topology: ``fat_tree``, ``switched_mesh``, ``two_level``,
+``fully_connected``) plus factory knobs ``--fanout``,
+``--oversubscription`` and ``--planes``.
+
+``sweep`` takes a workload name, a comma-separated list, or the
+``collectives`` family alias (ring/tree all-reduce, all-gather,
+all-to-all, pipeline), and with the ``paradigm`` sweep parameter
+reports FinePack-vs-DMA-vs-p2p speedup and goodput per workload::
+
+    repro sweep collectives paradigm --topology fat_tree --gpus 8
 
 ``sweep``, ``compare`` and ``chaos`` accept ``--jobs N`` to fan the
 run grid over worker processes (results are byte-identical to the
@@ -88,6 +98,58 @@ def _add_system_args(p: argparse.ArgumentParser) -> None:
         help="per-byte corruption probability on every link; corrupted "
         "packets pay DLL replays (default 0)",
     )
+
+
+def _add_topology_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--topology",
+        default=None,
+        metavar="KIND",
+        help="topology registry kind (single_switch, two_level, "
+        "fat_tree, switched_mesh, fully_connected; default "
+        "single_switch)",
+    )
+    p.add_argument(
+        "--fanout",
+        type=int,
+        default=None,
+        help="GPUs per leaf switch (fat_tree/two_level; factory default 4)",
+    )
+    p.add_argument(
+        "--oversubscription",
+        type=float,
+        default=None,
+        help="fat-tree uplink oversubscription ratio (1 = full "
+        "bisection; factory default 1)",
+    )
+    p.add_argument(
+        "--planes",
+        type=int,
+        default=None,
+        help="switch planes of a switched_mesh (factory default 2)",
+    )
+
+
+def _topology_fields(args: argparse.Namespace) -> tuple[str | None, tuple]:
+    """``(kind, frozen params)`` from the topology flags, registry-checked."""
+    kind = getattr(args, "topology", None)
+    params = {
+        name: value
+        for name in ("fanout", "oversubscription", "planes")
+        if (value := getattr(args, name, None)) is not None
+    }
+    if params and kind is None:
+        raise SystemExit(
+            "--fanout/--oversubscription/--planes require --topology"
+        )
+    if kind is not None:
+        from .registry import RegistryError, topologies
+
+        try:
+            topologies.resolve(kind)
+        except RegistryError as exc:
+            raise SystemExit(str(exc)) from None
+    return kind, tuple(sorted(params.items()))
 
 
 def _add_trace_args(p: argparse.ArgumentParser) -> None:
@@ -157,6 +219,7 @@ def _trace_metadata(args: argparse.Namespace) -> dict:
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
+    topology, topology_params = _topology_fields(args)
     return ExperimentConfig(
         n_gpus=args.gpus,
         iterations=args.iterations,
@@ -164,6 +227,8 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         generation=GENERATIONS[args.gen],
         finepack_config=FinePackConfig(subheader_bytes=args.subheader_bytes),
         fabric=FabricConfig(error_rate=args.error_rate),
+        topology=topology,
+        topology_params=topology_params,
     )
 
 
@@ -182,6 +247,8 @@ def _print_metrics(m: RunMetrics, out) -> None:
 
 
 def cmd_list(args, out) -> int:
+    from .registry import topologies
+
     rows = [
         [name, cls().comm_pattern] for name, cls in sorted(WORKLOADS.items())
     ]
@@ -189,6 +256,9 @@ def cmd_list(args, out) -> int:
     print(file=out)
     rows = [[name] for name in sorted(PARADIGMS)]
     print(format_table("paradigms", ["name"], rows), file=out)
+    print(file=out)
+    rows = [[name] for name, _ in sorted(topologies.items())]
+    print(format_table("topologies", ["name"], rows), file=out)
     return 0
 
 
@@ -234,27 +304,38 @@ def cmd_run(args, out) -> int:
     return 0
 
 
+#: ``repro sweep collectives ...`` expands to the full collective family.
+COLLECTIVE_WORKLOADS = (
+    "allreduce_ring",
+    "allreduce_tree",
+    "allgather",
+    "alltoall",
+    "pipeline",
+)
+
+
+def _expand_workloads(spec: str) -> list[str]:
+    """Split a comma-separated workload list, expanding family aliases."""
+    names: list[str] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "collectives":
+            names.extend(COLLECTIVE_WORKLOADS)
+        else:
+            names.append(part)
+    if not names:
+        raise SystemExit("sweep: name at least one workload")
+    return names
+
+
 def cmd_sweep(args, out) -> int:
     from .run import RunSpec, labeled_sweep
 
     jobs = _check_jobs(args)
-    workload = _workload(args.workload)
-    base = RunSpec.for_workload(workload, **_config(args).spec_fields())
-    if args.param == "subheader":
-        labeled = {
-            f"{b}B": base.with_options(
-                paradigm="finepack",
-                finepack=FinePackConfig(subheader_bytes=b),
-            )
-            for b in (2, 3, 4, 5, 6)
-        }
-    else:  # generation
-        labeled = {
-            f"gen{g}": base.with_options(
-                paradigm=args.paradigm, generation=GENERATIONS[g]
-            )
-            for g in sorted(GENERATIONS)
-        }
+    names = _expand_workloads(args.workload)
+    config = _config(args)
     tracers: dict[str, object] = {}
     tracer_factory = None
     if args.trace_out:
@@ -264,28 +345,58 @@ def cmd_sweep(args, out) -> int:
             tracers[label] = Tracer()
             return tracers[label]
 
-    run = labeled_sweep(
-        labeled,
-        jobs=jobs,
-        trace_cache=args.trace_cache,
-        tracer_factory=tracer_factory,
-    )
-    result = run.result
-    rows = [
-        [p.label, p.speedup, p.metrics.wire_bytes / 1e6,
-         p.metrics.packets.mean_stores_per_packet]
-        for p in result.points
-    ]
+    rows = []
+    cache_stats = {"hits": 0, "misses": 0, "corrupt": 0}
+    for name in names:
+        base = RunSpec.for_workload(_workload(name), **config.spec_fields())
+        prefix = f"{name}:" if len(names) > 1 else ""
+        if args.param == "subheader":
+            labeled = {
+                f"{prefix}{b}B": base.with_options(
+                    paradigm="finepack",
+                    finepack=FinePackConfig(subheader_bytes=b),
+                )
+                for b in (2, 3, 4, 5, 6)
+            }
+        elif args.param == "generation":
+            labeled = {
+                f"{prefix}gen{g}": base.with_options(
+                    paradigm=args.paradigm, generation=GENERATIONS[g]
+                )
+                for g in sorted(GENERATIONS)
+            }
+        else:  # paradigm
+            labeled = {
+                f"{prefix}{p}": base.with_options(paradigm=p)
+                for p in args.paradigms
+            }
+        # One labeled_sweep per workload so each gets its own 1-GPU
+        # baseline (speedups across different workloads must not share
+        # a normalization run).
+        run = labeled_sweep(
+            labeled,
+            jobs=jobs,
+            trace_cache=args.trace_cache,
+            tracer_factory=tracer_factory,
+        )
+        for k, v in run.cache_stats().items():
+            cache_stats[k] += v
+        rows += [
+            [p.label, p.speedup, p.metrics.goodput,
+             p.metrics.wire_bytes / 1e6,
+             p.metrics.packets.mean_stores_per_packet]
+            for p in run.result.points
+        ]
     print(
         format_table(
             f"{args.workload}: {args.param} sweep",
-            ["config", "speedup", "wire_MB", "stores/pkt"],
+            ["config", "speedup", "goodput", "wire_MB", "stores/pkt"],
             rows,
             float_fmt="{:.2f}",
         ),
         file=out,
     )
-    _print_cache_stats(run.cache_stats(), args, out)
+    _print_cache_stats(cache_stats, args, out)
     if tracers:
         from .obs import write_chrome_trace
 
@@ -520,19 +631,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline", action="store_true", help="render the iteration timeline"
     )
     _add_system_args(p)
+    _add_topology_args(p)
     _add_trace_args(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep a design parameter")
-    p.add_argument("workload")
-    p.add_argument("param", choices=("subheader", "generation"))
+    p.add_argument(
+        "workload",
+        help="workload name, comma-separated list, or the 'collectives' "
+        "family alias",
+    )
+    p.add_argument("param", choices=("subheader", "generation", "paradigm"))
     p.add_argument(
         "--paradigm",
         default="finepack",
         choices=sorted(PARADIGMS),
         help="paradigm for generation sweeps (default finepack)",
     )
+    p.add_argument(
+        "--paradigms",
+        nargs="+",
+        default=["p2p", "dma", "finepack"],
+        choices=sorted(PARADIGMS),
+        help="paradigm ladder for paradigm sweeps (default p2p dma "
+        "finepack)",
+    )
     _add_system_args(p)
+    _add_topology_args(p)
     _add_trace_args(p)
     _add_parallel_args(p)
     p.set_defaults(fn=cmd_sweep)
@@ -546,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PARADIGMS),
     )
     _add_system_args(p)
+    _add_topology_args(p)
     _add_parallel_args(p)
     p.set_defaults(fn=cmd_compare)
 
@@ -596,7 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--topology",
         default=None,
-        choices=("single_switch", "two_level", "fully_connected"),
+        choices=(
+            "single_switch",
+            "two_level",
+            "fully_connected",
+            "fat_tree",
+            "switched_mesh",
+        ),
         help="override the scenario's topology hint",
     )
     p.add_argument(
@@ -638,6 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
         "for this invocation)",
     )
     _add_system_args(p)
+    _add_topology_args(p)
     p.set_defaults(fn=cmd_profile)
 
     sub.add_parser("goodput", help="print the Fig. 2 goodput table").set_defaults(

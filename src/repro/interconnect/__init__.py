@@ -9,7 +9,9 @@ The public surface other packages use:
   ``PCIE_GEN3..6`` generation constants.
 * :class:`~repro.interconnect.nvlink.NVLinkProtocol`.
 * :func:`~repro.interconnect.topology.single_switch` /
-  :func:`~repro.interconnect.topology.two_level_tree` producing a
+  :func:`~repro.interconnect.topology.two_level_tree` /
+  :func:`~repro.interconnect.topology.fat_tree` /
+  :func:`~repro.interconnect.topology.switched_mesh` producing a
   :class:`~repro.interconnect.topology.Topology`.
 """
 
@@ -27,7 +29,14 @@ from .pcie import (
     PCIeProtocol,
 )
 from .switch import Switch
-from .topology import Topology, fully_connected, single_switch, two_level_tree
+from .topology import (
+    Topology,
+    fat_tree,
+    fully_connected,
+    single_switch,
+    switched_mesh,
+    two_level_tree,
+)
 
 __all__ = [
     "CreditPool",
@@ -45,7 +54,9 @@ __all__ = [
     "PCIeProtocol",
     "Switch",
     "Topology",
+    "fat_tree",
     "fully_connected",
     "single_switch",
+    "switched_mesh",
     "two_level_tree",
 ]

@@ -1,11 +1,20 @@
-"""Interconnect topologies: switched PCIe trees.
+"""Interconnect topologies: switched PCIe trees and scaled-up fabrics.
 
-Two topologies are provided:
+Four topology families are provided:
 
 * :func:`single_switch` -- the paper's 4-GPU testbed: every GPU hangs
   off one PCIe switch with a full-duplex x16 link.
 * :func:`two_level_tree` -- the projected 16-GPU system of Sec. VI-B:
   leaf switches of ``fanout`` GPUs joined by a root switch.
+* :func:`fat_tree` -- parameterized multi-level fat trees at 8-64+
+  GPUs: switch levels are built bottom-up by ``fanout``-way grouping,
+  and each uplink trunk aggregates enough parallel links to preserve
+  (or deliberately oversubscribe, via ``oversubscription``) the
+  bisection bandwidth of the subtree below it.
+* :func:`switched_mesh` -- fully-switched multi-plane rail fabrics:
+  every GPU attaches to every one of ``planes`` central switches and
+  each GPU pair is deterministically pinned to one plane, NVSwitch
+  style.
 
 A :class:`Topology` owns all links and switches, routes messages along
 the unique tree path, and aggregates link statistics for the metrics
@@ -53,6 +62,10 @@ class Topology:
     forwarding_ns: float = 100.0
     #: Messages that were rerouted around a dead link this run.
     rerouted_messages: int = 0
+    #: Structural facts the factory wants to expose to tests/reports
+    #: (switch levels, oversubscription ratio, trunk multiplicity, hop
+    #: bounds, ...).  Purely descriptive; routing never consults it.
+    meta: dict = field(default_factory=dict)
     _paths: dict[tuple[int, int], list[str]] = field(default_factory=dict)
     _detours: dict[tuple, list[str] | None] = field(default_factory=dict)
     #: Links armed with outage windows that can turn permanent; cached
@@ -205,13 +218,17 @@ def _add_duplex(
     propagation_ns: float,
     with_credits: bool,
     error_rate: float = 0.0,
+    width: int = 1,
 ) -> None:
+    """Add a duplex link pair; ``width`` parallel physical links are
+    modeled as one logical link of ``width``-fold bandwidth (striped
+    trunks, the way switch vendors aggregate uplink ports)."""
     graph.add_edge(a, b)
     for u, v in ((a, b), (b, a)):
         credits = CreditPool() if with_credits and v.startswith("gpu") else None
         links[(u, v)] = Link(
             name=f"{u}->{v}",
-            bytes_per_ns=generation.bytes_per_ns,
+            bytes_per_ns=generation.bytes_per_ns * width,
             propagation_ns=propagation_ns,
             credits=credits,
             error_rate=error_rate,
@@ -303,3 +320,145 @@ def two_level_tree(
             )
         _add_duplex(links, graph, sw, "sw0", generation, propagation_ns, False)
     return Topology(n_gpus=n_gpus, generation=generation, graph=graph, links=links)
+
+
+@_registry.register("fat_tree")
+def fat_tree(
+    n_gpus: int = 16,
+    fanout: int = 4,
+    oversubscription: float = 1.0,
+    generation: PCIeGeneration = PCIE_GEN4,
+    propagation_ns: float = 50.0,
+    with_credits: bool = False,
+    error_rate: float = 0.0,
+) -> Topology:
+    """A multi-level fat tree scaling to 8/16/32/64+ GPUs.
+
+    GPUs are grouped ``fanout`` at a time under leaf switches; switch
+    levels are then built bottom-up by repeated ``fanout``-way grouping
+    until a single root remains.  The uplink trunk of a switch at level
+    ``l`` (leaves are level 1) aggregates
+    ``max(1, round(fanout**l / oversubscription))`` parallel links --
+    ``oversubscription=1`` preserves the full bisection bandwidth of
+    the subtree below (a true fat tree), larger values thin the upper
+    trunks the way cost-reduced deployments do.
+
+    Worst-case GPU-to-GPU hop count is ``2 * levels`` link traversals
+    (up to the root and back down); ``meta`` records the level count,
+    per-level trunk multiplicity, and hop bound for tests.
+
+    Batch-transport note: leaf links serve different hop positions for
+    intra-leaf vs. cross-leaf traffic, so ``repro.perf`` declines the
+    vectorized plan and the system cleanly falls back to the scalar
+    event-driven engine (same behavior as the two-level tree).
+    """
+    if n_gpus < 2:
+        raise ValueError("a multi-GPU topology needs at least 2 GPUs")
+    if fanout < 2:
+        raise ValueError(f"fanout must be >= 2, got {fanout}")
+    if oversubscription < 1.0:
+        raise ValueError(
+            f"oversubscription must be >= 1 (1 = full bisection), "
+            f"got {oversubscription}"
+        )
+    graph: nx.Graph = nx.Graph()
+    links: dict[tuple[str, str], Link] = {}
+
+    # Level 1: GPUs under leaf switches (ceil-divided; the last leaf
+    # may be partially populated when fanout does not divide n_gpus).
+    n_leaves = -(-n_gpus // fanout)
+    leaves = [f"sw1_{i}" for i in range(n_leaves)]
+    for g in range(n_gpus):
+        _add_duplex(
+            links, graph, f"gpu{g}", leaves[g // fanout], generation,
+            propagation_ns, with_credits, error_rate,
+        )
+
+    # Upper levels: group switches fanout at a time until one remains.
+    trunk_width: dict[int, int] = {}
+    level, nodes = 1, leaves
+    while len(nodes) > 1:
+        width = max(1, round(fanout**level / oversubscription))
+        trunk_width[level] = width
+        parents = [
+            f"sw{level + 1}_{i}" for i in range(-(-len(nodes) // fanout))
+        ]
+        for i, node in enumerate(nodes):
+            _add_duplex(
+                links, graph, node, parents[i // fanout], generation,
+                propagation_ns, False, error_rate, width=width,
+            )
+        level += 1
+        nodes = parents
+
+    return Topology(
+        n_gpus=n_gpus,
+        generation=generation,
+        graph=graph,
+        links=links,
+        meta={
+            "kind": "fat_tree",
+            "levels": level,
+            "fanout": fanout,
+            "oversubscription": oversubscription,
+            "trunk_width": trunk_width,
+            "max_hops": 2 * level,
+            "n_switches": sum(
+                1 for n in graph.nodes if not n.startswith("gpu")
+            ),
+        },
+    )
+
+
+@_registry.register("switched_mesh")
+def switched_mesh(
+    n_gpus: int = 8,
+    planes: int = 2,
+    generation: PCIeGeneration = PCIE_GEN4,
+    propagation_ns: float = 50.0,
+    with_credits: bool = False,
+    error_rate: float = 0.0,
+) -> Topology:
+    """A fully-switched multi-plane fabric (NVSwitch-style rails).
+
+    Every GPU attaches to all ``planes`` central switches; every pair
+    is two hops apart on every plane.  Each ordered GPU pair is pinned
+    to plane ``(src + dst) % planes`` up front -- deterministic,
+    symmetric (both directions of a pair share a plane), and spreading
+    pairs across rails the way NVSwitch port maps stripe traffic.  The
+    pin is installed in the route cache, so routing, the vectorized
+    batch transport, and the scalar engine all agree on it; fault-aware
+    rerouting still detours through the surviving planes when a pinned
+    link dies.
+    """
+    if n_gpus < 2:
+        raise ValueError("a multi-GPU topology needs at least 2 GPUs")
+    if planes < 1:
+        raise ValueError(f"planes must be >= 1, got {planes}")
+    graph: nx.Graph = nx.Graph()
+    links: dict[tuple[str, str], Link] = {}
+    for p in range(planes):
+        for g in range(n_gpus):
+            _add_duplex(
+                links, graph, f"gpu{g}", f"sw{p}", generation,
+                propagation_ns, with_credits, error_rate,
+            )
+    paths = {
+        (s, d): [f"gpu{s}", f"sw{(s + d) % planes}", f"gpu{d}"]
+        for s in range(n_gpus)
+        for d in range(n_gpus)
+        if s != d
+    }
+    return Topology(
+        n_gpus=n_gpus,
+        generation=generation,
+        graph=graph,
+        links=links,
+        _paths=paths,
+        meta={
+            "kind": "switched_mesh",
+            "planes": planes,
+            "max_hops": 2,
+            "n_switches": planes,
+        },
+    )

@@ -137,6 +137,7 @@ class RunContext:
                 finepack_config=spec.finepack,
                 barrier_ns=spec.barrier_ns,
                 topology_kind=spec.topology,
+                topology_params=dict(spec.topology_params),
                 with_credits=spec.with_credits,
                 error_rate=spec.fabric.error_rate,
                 fault_injector=self.injector,

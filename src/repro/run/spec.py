@@ -89,9 +89,11 @@ class RunSpec:
         receives :attr:`finepack` unless ``config`` is overridden.
     generation:
         PCIe link parameters (a frozen :class:`PCIeGeneration`).
-    topology:
+    topology, topology_params:
         Topology registry kind, or ``None`` for the system default
-        (``single_switch``; single-GPU runs build no fabric at all).
+        (``single_switch``; single-GPU runs build no fabric at all),
+        plus factory-specific keywords (``fanout``, ``planes``,
+        ``oversubscription``, ...) as a normalized parameter tuple.
     scenario, intensity:
         Optional fault scenario as canonical JSON (the
         :class:`~repro.faults.schedule.FaultSchedule` schema) and the
@@ -111,6 +113,7 @@ class RunSpec:
     compute: ComputeModel = field(default_factory=ComputeModel)
     barrier_ns: float = 2_000.0
     topology: str | None = None
+    topology_params: Params = ()
     with_credits: bool = False
     scenario: str | None = None
     intensity: float = 1.0
@@ -128,6 +131,7 @@ class RunSpec:
         # stand-ins for the frozen sub-configs.
         object.__setattr__(self, "workload_params", freeze_params(self.workload_params))
         object.__setattr__(self, "paradigm_params", freeze_params(self.paradigm_params))
+        object.__setattr__(self, "topology_params", freeze_params(self.topology_params))
         _require(self.generation, PCIeGeneration, "generation")
         _require(self.finepack, FinePackConfig, "finepack")
         _require(self.fabric, FabricConfig, "fabric")
@@ -168,7 +172,7 @@ class RunSpec:
 
     def with_options(self, **overrides) -> "RunSpec":
         """A copy with the given fields replaced (params may be dicts)."""
-        for key in ("workload_params", "paradigm_params"):
+        for key in ("workload_params", "paradigm_params", "topology_params"):
             if key in overrides:
                 overrides[key] = freeze_params(overrides[key])
         return replace(self, **overrides)
@@ -180,6 +184,7 @@ class RunSpec:
             paradigm="infinite",
             paradigm_params=(),
             topology=None,
+            topology_params=(),
             with_credits=False,
             scenario=None,
             intensity=0.0,

@@ -56,6 +56,11 @@ class ExperimentConfig:
     barrier_ns: float = 2_000.0
     two_level: bool = False
     fabric: FabricConfig = field(default_factory=FabricConfig)
+    #: Topology registry kind (overrides ``two_level`` when set) plus
+    #: factory keywords, normalized to a sorted tuple like
+    #: :data:`repro.run.spec.Params`.
+    topology: str | None = None
+    topology_params: tuple = ()
 
     def spec_fields(self) -> dict:
         """This config as :class:`repro.run.RunSpec` field values."""
@@ -68,7 +73,9 @@ class ExperimentConfig:
             "fabric": self.fabric,
             "compute": self.compute,
             "barrier_ns": self.barrier_ns,
-            "topology": "two_level" if self.two_level else None,
+            "topology": self.topology
+            or ("two_level" if self.two_level else None),
+            "topology_params": self.topology_params,
         }
 
 
@@ -103,6 +110,8 @@ def build_system(config: ExperimentConfig, n_gpus: int | None = None) -> MultiGP
         finepack_config=config.finepack_config,
         barrier_ns=config.barrier_ns,
         two_level=config.two_level,
+        topology_kind=config.topology,
+        topology_params=dict(config.topology_params),
         error_rate=config.fabric.error_rate,
     )
 

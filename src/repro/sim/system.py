@@ -80,16 +80,22 @@ class MultiGPUSystem:
         barrier_ns: float = 2_000.0,
         two_level: bool = False,
         topology_kind: str | None = None,
+        topology_params: dict | None = None,
         with_credits: bool = False,
         error_rate: float = 0.0,
         fault_injector: object | None = None,
     ) -> "MultiGPUSystem":
         """Construct the paper's testbed (or a variant).
 
-        ``topology_kind`` selects ``"single_switch"`` (the paper's 4-GPU
-        testbed, default), ``"two_level"`` (the projected 16-GPU tree)
-        or ``"fully_connected"`` (NVSwitch-class pairwise links); the
-        legacy ``two_level`` flag is a shorthand for the second.
+        ``topology_kind`` selects a factory from
+        :data:`repro.registry.topologies` -- ``"single_switch"`` (the
+        paper's 4-GPU testbed, default), ``"two_level"`` (the projected
+        16-GPU tree), ``"fully_connected"`` (NVSwitch-class pairwise
+        links), ``"fat_tree"`` (multi-level, 8-64+ GPUs) or
+        ``"switched_mesh"`` (multi-plane rails); the legacy
+        ``two_level`` flag is a shorthand for the second.
+        ``topology_params`` passes factory-specific keywords through
+        (``fanout``, ``oversubscription``, ``planes``, ...).
         ``error_rate`` is the baseline per-byte corruption probability
         of every link (see :class:`~repro.core.config.FabricConfig`);
         ``fault_injector`` arms a scenario's scheduled faults.
@@ -108,6 +114,7 @@ class MultiGPUSystem:
                 generation=generation,
                 with_credits=with_credits,
                 error_rate=error_rate,
+                **(topology_params or {}),
             )
         return cls(
             n_gpus=n_gpus,

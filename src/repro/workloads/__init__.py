@@ -8,6 +8,22 @@ from .base import (
     element_intervals,
     push_elements,
 )
+from .collectives import (
+    AllGatherWorkload,
+    AllToAllWorkload,
+    CollectiveSchedule,
+    CollectiveTransfer,
+    CollectiveWorkload,
+    PipelineWorkload,
+    RingAllReduceWorkload,
+    TreeAllReduceWorkload,
+    allgather_schedule,
+    alltoall_schedule,
+    collectives_suite,
+    pipeline_schedule,
+    ring_allreduce_schedule,
+    tree_allreduce_schedule,
+)
 from .ct import CTWorkload
 from .datasets import (
     Graph,
@@ -64,6 +80,20 @@ WORKLOADS = dict(workload_registry.items())
 
 __all__ = [
     "ALSWorkload",
+    "AllGatherWorkload",
+    "AllToAllWorkload",
+    "CollectiveSchedule",
+    "CollectiveTransfer",
+    "CollectiveWorkload",
+    "PipelineWorkload",
+    "RingAllReduceWorkload",
+    "TreeAllReduceWorkload",
+    "allgather_schedule",
+    "alltoall_schedule",
+    "collectives_suite",
+    "pipeline_schedule",
+    "ring_allreduce_schedule",
+    "tree_allreduce_schedule",
     "MultiGPUWorkload",
     "contiguous_interval",
     "element_intervals",

@@ -1,0 +1,195 @@
+"""Structural invariants of the scaled-up topologies.
+
+For every fat-tree size the ISSUE targets (8/16/32/64 GPUs): all-pairs
+connectivity, route symmetry, hop-count bounds against the factory's
+own ``meta`` contract, trunk multiplicity under oversubscription, and
+fault-aware rerouting terminating on the 64-GPU tree.  Plus the
+switched-mesh plane-pinning invariants the batch-transport eligibility
+relies on.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.faults import FaultInjector, FaultSchedule
+from repro.faults.state import RouteBlockedError
+from repro.interconnect.message import WireMessage
+from repro.interconnect.topology import fat_tree, switched_mesh
+
+SIZES = (8, 16, 32, 64)
+
+
+def msg(src, dst, payload=3200):
+    return WireMessage(src=src, dst=dst, payload_bytes=payload, overhead_bytes=0)
+
+
+@pytest.fixture(scope="module", params=SIZES, ids=lambda n: f"{n}gpu")
+def tree(request):
+    return fat_tree(n_gpus=request.param)
+
+
+class TestFatTreeStructure:
+    def test_is_a_tree_and_connected(self, tree):
+        assert nx.is_tree(tree.graph)
+        assert nx.is_connected(tree.graph)
+
+    def test_every_gpu_pair_connected(self, tree):
+        n = tree.n_gpus
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    assert nx.has_path(tree.graph, f"gpu{s}", f"gpu{d}")
+
+    def test_route_symmetry(self, tree):
+        """The unique tree path back is the forward path reversed."""
+        n = tree.n_gpus
+        for s in range(0, n, max(1, n // 8)):
+            for d in range(0, n, max(1, n // 8)):
+                if s != d:
+                    assert tree._path(s, d) == tree._path(d, s)[::-1]
+
+    def test_hop_counts_within_meta_bound(self, tree):
+        n = tree.n_gpus
+        worst = 0
+        for s in range(n):
+            for d in range(s + 1, n):
+                hops = len(tree._path(s, d)) - 1
+                assert hops >= 2  # always via at least the leaf switch
+                worst = max(worst, hops)
+        assert worst <= tree.meta["max_hops"]
+        # The bound is tight: some pair crosses the whole tree.
+        if tree.meta["levels"] > 1:
+            assert worst == tree.meta["max_hops"]
+
+    def test_same_leaf_pairs_are_two_hops(self, tree):
+        fanout = tree.meta["fanout"]
+        assert len(tree._path(0, 1)) - 1 == 2
+        if tree.n_gpus > fanout:
+            # Cross-leaf pairs must climb at least one level.
+            assert len(tree._path(0, fanout)) - 1 >= 4
+
+    def test_levels_match_size(self, tree):
+        import math
+
+        fanout = tree.meta["fanout"]
+        leaves = math.ceil(tree.n_gpus / fanout)
+        expected_levels = 1 + (
+            0 if leaves == 1 else math.ceil(math.log(leaves, fanout))
+        )
+        assert tree.meta["levels"] == expected_levels
+
+    def test_duplex_links_everywhere(self, tree):
+        for a, b in tree.links:
+            assert (b, a) in tree.links
+
+
+class TestTrunkMultiplicity:
+    def test_full_bisection_trunks(self):
+        t = fat_tree(n_gpus=64, fanout=4, oversubscription=1.0)
+        # Level-l uplinks aggregate fanout**l lanes: capacity of the
+        # subtree below is preserved all the way up.
+        assert t.meta["trunk_width"] == {1: 4, 2: 16}
+        leaf_bw = t.links[("gpu0", "sw1_0")].bytes_per_ns
+        trunk1 = t.links[("sw1_0", "sw2_0")].bytes_per_ns
+        trunk2 = t.links[("sw2_0", "sw3_0")].bytes_per_ns
+        assert trunk1 == pytest.approx(4 * leaf_bw)
+        assert trunk2 == pytest.approx(16 * leaf_bw)
+
+    def test_oversubscription_thins_trunks(self):
+        t = fat_tree(n_gpus=64, fanout=4, oversubscription=4.0)
+        assert t.meta["trunk_width"] == {1: 1, 2: 4}
+        full = fat_tree(n_gpus=64, fanout=4)
+        edge = ("sw1_0", "sw2_0")
+        assert (
+            t.links[edge].bytes_per_ns
+            == full.links[edge].bytes_per_ns / 4
+        )
+
+    def test_oversubscription_below_one_rejected(self):
+        with pytest.raises(ValueError, match="oversubscription"):
+            fat_tree(n_gpus=8, oversubscription=0.5)
+
+    def test_partial_leaf_allowed(self):
+        t = fat_tree(n_gpus=10, fanout=4)
+        assert nx.is_connected(t.graph)
+        assert t.route(msg(0, 9), 0.0) > 0
+
+    def test_oversubscribed_cross_traffic_slower(self):
+        full = fat_tree(n_gpus=16, fanout=4)
+        thin = fat_tree(n_gpus=16, fanout=4, oversubscription=4.0)
+        t_full = full.route(msg(0, 15), 0.0)
+        t_thin = thin.route(msg(0, 15), 0.0)
+        assert t_thin > t_full
+
+
+class TestSwitchedMesh:
+    def test_structure(self):
+        m = switched_mesh(n_gpus=8, planes=2)
+        assert m.meta == {
+            "kind": "switched_mesh",
+            "planes": 2,
+            "max_hops": 2,
+            "n_switches": 2,
+        }
+        # 8 GPUs x 2 planes duplex pairs.
+        assert len(m.links) == 32
+
+    def test_all_pairs_two_hops_and_symmetric(self):
+        m = switched_mesh(n_gpus=16, planes=4)
+        for s in range(16):
+            for d in range(16):
+                if s == d:
+                    continue
+                path = m._path(s, d)
+                assert len(path) == 3
+                assert path == m._path(d, s)[::-1]
+
+    def test_pairs_spread_across_planes(self):
+        m = switched_mesh(n_gpus=8, planes=2)
+        used = {m._path(s, d)[1] for s in range(8) for d in range(8) if s != d}
+        assert used == {"sw0", "sw1"}
+
+    def test_distinct_plane_no_contention(self):
+        m = switched_mesh(n_gpus=4, planes=2)
+        # (0->1) pins to sw1, (0->2) pins to sw0: different egress
+        # links, so the second message does not queue behind the first.
+        t1 = m.route(msg(0, 1), 0.0)
+        t2 = m.route(msg(0, 2), 0.0)
+        assert t2 == pytest.approx(t1)
+
+
+def _fail_link_schedule(link: str) -> FaultSchedule:
+    return FaultSchedule.from_dict(
+        {
+            "name": "kill-one-link",
+            "faults": [{"type": "link_fail", "link": link, "start_ns": 0.0}],
+        }
+    )
+
+
+class TestFaultAwareRerouting:
+    def test_64_gpu_tree_blocked_route_terminates(self):
+        """A dead trunk on a tree leaves no alternate path; rerouting
+        must conclude (RouteBlockedError), not wander or hang."""
+        t = fat_tree(n_gpus=64)
+        FaultInjector(_fail_link_schedule("sw1_0->sw2_0")).arm(t)
+        with pytest.raises(RouteBlockedError):
+            t.route(msg(0, 63), 0.0)
+
+    def test_64_gpu_tree_unaffected_pairs_still_route(self):
+        t = fat_tree(n_gpus=64)
+        FaultInjector(_fail_link_schedule("sw1_0->sw2_0")).arm(t)
+        # Intra-leaf traffic under the dead trunk, and all traffic in
+        # other subtrees, keep flowing.
+        assert t.route(msg(0, 1), 0.0) > 0
+        assert t.route(msg(8, 63), 0.0) > 0
+        # The reverse direction of the duplex trunk is alive too.
+        assert t.route(msg(63, 0), 0.0) > 0
+
+    def test_mesh_reroutes_through_surviving_plane(self):
+        m = switched_mesh(n_gpus=8, planes=2)
+        pinned = m._path(0, 1)[1]
+        FaultInjector(_fail_link_schedule(f"gpu0->{pinned}")).arm(m)
+        before = m.rerouted_messages
+        assert m.route(msg(0, 1), 0.0) > 0
+        assert m.rerouted_messages == before + 1

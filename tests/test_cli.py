@@ -157,3 +157,112 @@ class TestSweep:
         )
         for label in ("gen3", "gen6"):
             assert label in text
+
+    def test_paradigm_sweep_reports_goodput(self):
+        text = run_cli(
+            "sweep", "allreduce_ring", "paradigm", "--gpus", "2",
+            "--iterations", "1",
+        )
+        assert "goodput" in text
+        for label in ("p2p", "dma", "finepack"):
+            assert label in text
+
+    def test_collectives_family_alias_expands(self):
+        text = run_cli(
+            "sweep", "collectives", "paradigm", "--gpus", "2",
+            "--iterations", "1", "--paradigms", "finepack",
+        )
+        for name in (
+            "allreduce_ring", "allreduce_tree", "allgather", "alltoall",
+            "pipeline",
+        ):
+            assert f"{name}:finepack" in text
+
+    def test_comma_separated_workloads(self):
+        text = run_cli(
+            "sweep", "alltoall,allgather", "paradigm", "--gpus", "2",
+            "--iterations", "1", "--paradigms", "dma",
+        )
+        assert "alltoall:dma" in text and "allgather:dma" in text
+
+    def test_sweep_on_fat_tree(self):
+        text = run_cli(
+            "sweep", "allgather", "paradigm", "--topology", "fat_tree",
+            "--fanout", "2", "--gpus", "4", "--iterations", "1",
+            "--paradigms", "finepack",
+        )
+        assert "finepack" in text
+
+
+class TestCollectiveWorkloads:
+    def test_list_includes_collectives_and_topologies(self):
+        text = run_cli("list")
+        for name in (
+            "allreduce_ring", "allreduce_tree", "allgather", "alltoall",
+            "pipeline",
+        ):
+            assert name in text
+        for topo in ("fat_tree", "switched_mesh", "two_level"):
+            assert topo in text
+
+    def test_run_collective_on_switched_mesh(self):
+        text = run_cli(
+            "run", "alltoall", "finepack", "--gpus", "4", "--iterations", "1",
+            "--topology", "switched_mesh", "--planes", "2",
+        )
+        assert "alltoall / finepack" in text
+
+    def test_run_collective_on_fat_tree(self):
+        text = run_cli(
+            "run", "allreduce_tree", "dma", "--gpus", "8", "--iterations", "1",
+            "--topology", "fat_tree",
+        )
+        assert "allreduce_tree / dma" in text
+
+
+class TestDidYouMean:
+    """Registry resolution errors must carry actionable suggestions."""
+
+    def test_misspelled_collective_workload(self):
+        with pytest.raises(SystemExit) as exc:
+            run_cli("run", "allreduce_rng", "finepack")
+        message = str(exc.value)
+        assert "did you mean" in message
+        assert "allreduce_ring" in message
+
+    def test_misspelled_workload_alltoal(self):
+        with pytest.raises(SystemExit) as exc:
+            run_cli("sweep", "alltoal", "paradigm", "--gpus", "2")
+        assert "alltoall" in str(exc.value)
+
+    def test_misspelled_topology(self):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(
+                "run", "jacobi", "finepack", "--gpus", "2",
+                "--topology", "fat_teee",
+            )
+        message = str(exc.value)
+        assert "did you mean" in message
+        assert "fat_tree" in message
+
+    def test_misspelled_topology_switched_mess(self):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(
+                "sweep", "allgather", "paradigm", "--gpus", "2",
+                "--topology", "switched_mess",
+            )
+        assert "switched_mesh" in str(exc.value)
+
+    def test_unknown_topology_lists_known_kinds(self):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(
+                "run", "jacobi", "finepack", "--topology", "hypercube"
+            )
+        message = str(exc.value)
+        assert "known" in message
+        assert "fat_tree" in message and "switched_mesh" in message
+
+    def test_topology_params_require_topology(self):
+        with pytest.raises(SystemExit) as exc:
+            run_cli("run", "jacobi", "finepack", "--fanout", "2")
+        assert "--topology" in str(exc.value)

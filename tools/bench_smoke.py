@@ -33,7 +33,12 @@ from repro.run import RunSpec, aggregate_cache_stats, execute_grid  # noqa: E402
 
 
 def build_grid() -> list[RunSpec]:
-    """Two workloads x two paradigms -- small but parallelizable."""
+    """Three workloads x two paradigms -- small but parallelizable.
+
+    The grid includes one collective (ring all-reduce on a 4-GPU
+    switched mesh) so the sweep benchmark also covers the collective
+    lowering path and topology parameter plumbing.
+    """
     specs = []
     for workload, params in (("jacobi", {"n": 512}), ("diffusion", {"n": 96})):
         base = RunSpec(
@@ -43,6 +48,15 @@ def build_grid() -> list[RunSpec]:
             iterations=2,
         )
         specs += [base.with_options(paradigm=p) for p in ("p2p", "finepack")]
+    collective = RunSpec(
+        workload="allreduce_ring",
+        workload_params={"message_bytes": 8192, "chunk_bytes": 2048},
+        topology="switched_mesh",
+        topology_params={"planes": 2},
+        n_gpus=4,
+        iterations=1,
+    )
+    specs += [collective.with_options(paradigm=p) for p in ("dma", "finepack")]
     return specs
 
 
