@@ -348,9 +348,10 @@ def fat_tree(
     per-level trunk multiplicity, and hop bound for tests.
 
     Batch-transport note: leaf links serve different hop positions for
-    intra-leaf vs. cross-leaf traffic, so ``repro.perf`` declines the
-    vectorized plan and the system cleanly falls back to the scalar
-    event-driven engine (same behavior as the two-level tree).
+    intra-leaf vs. cross-leaf traffic, but the tree's route adjacency
+    is acyclic (up-edges order by ascending level, down-edges by
+    descending level), so the event-ordered plan of ``repro.perf``
+    keeps fat trees on the vectorized fast path at every scale.
     """
     if n_gpus < 2:
         raise ValueError("a multi-GPU topology needs at least 2 GPUs")

@@ -47,21 +47,30 @@ class PerfConfig:
         a whole phase's stores become one array batch instead of one
         ``WireMessage`` object each.
     vector_transport:
-        Bulk link-serialization arithmetic: messages are timed hop by
-        hop with per-link batched chains instead of one discrete event
-        per message.  Falls back to the event-driven path whenever a
-        run uses tracing, fault injection, flow-control credits, link
-        error rates, or a topology whose routes share links across hop
-        positions (see ``repro.perf.transport``).
+        Bulk link-serialization arithmetic: per-link batched busy
+        chains, visited in topological route order with traffic merged
+        in global issue order, instead of one discrete event per
+        message.  Falls back to the event-driven path whenever a run
+        uses tracing, fault injection, flow-control credits, link
+        error rates, or (only) a topology whose route adjacency is
+        cyclic (see ``repro.perf.transport``).
     batch_events:
         The discrete-event engine drains same-timestamp event runs in
         an inlined loop without per-event dispatch overhead.
+    memo_egress:
+        Content-addressed per-phase memoization of the FinePack
+        packetizer/remote-write-queue: a phase whose op columns
+        (addresses, sizes, destinations, atomic flags) were already
+        packetized this run replays the recorded messages and stats
+        with fresh issue times instead of re-packetizing from scratch
+        (see ``FinePackEgress.phase_ops``).
     """
 
     vector_rwq: bool = True
     vector_egress: bool = True
     vector_transport: bool = True
     batch_events: bool = True
+    memo_egress: bool = True
 
     @classmethod
     def all_on(cls) -> "PerfConfig":
@@ -75,6 +84,7 @@ class PerfConfig:
             vector_egress=False,
             vector_transport=False,
             batch_events=False,
+            memo_egress=False,
         )
 
     @classmethod

@@ -90,6 +90,8 @@ class ProfileResult:
             "paradigm": self.spec.paradigm,
             "n_gpus": self.spec.n_gpus,
             "iterations": self.spec.iterations,
+            "topology": self.spec.topology,
+            "topology_params": dict(self.spec.topology_params),
             "mode": "scalar" if self.scalar else "fast",
             "wall_ms": self.wall_ns / 1e6,
             "instrumented_ms": self.profiler.total_ns() / 1e6,

@@ -3,23 +3,38 @@
 The scalar system schedules one discrete event per message; each event
 routes its message hop by hop through :meth:`Link.transmit`.  That is
 byte-exact but pays Python dispatch per message.  This module computes
-the *same* timings with per-link batched arithmetic:
+the *same* timings with per-link batched arithmetic.
+
+The key observation is that the scalar engine walks a message's *whole*
+route inside its single issue event: ``Topology.route`` is called at
+the message's issue time and hands the message to every link on the
+path before the next event runs.  Per directed link, the scalar call
+order is therefore the **global issue order** of the messages crossing
+it -- not their arrival order at that link.  The batch path reproduces
+exactly that:
 
 1. All of an iteration's messages are flattened into parallel arrays
-   and sorted by issue time (stable, preserving scheduling order for
+   and stable-sorted by issue time (preserving scheduling order for
    ties -- exactly the engine's ``(time, seq)`` ordering).
-2. Messages advance hop position by hop position; at each hop the
-   messages crossing a given link are handed to
-   :meth:`Link.transmit_batch` together, in global issue order.
+2. :func:`build_plan` records every pair route and orders the directed
+   links *topologically* over the route-adjacency DAG (link ``P``
+   precedes link ``L`` whenever ``P`` immediately precedes ``L`` on
+   some route).  For trees and meshes this DAG is acyclic: up-edges
+   sort by ascending level, down-edges by descending level.
+3. :func:`transmit_flat` visits each used link once, in that order,
+   calling :meth:`Link.transmit_batch` with the link's messages merged
+   in ascending flat index -- i.e. global issue order.  Messages at
+   hop position > 0 on a link first gain ``forwarding_ns``
+   element-wise, the same float addition the scalar route performs.
 
-Step 2 reproduces the scalar per-link call order only when no link is
-used at two different hop positions: the scalar engine interleaves
-*all* traffic in issue order, so a link serving hop 0 for one GPU pair
-and hop 2 for another would see its calls interleaved, not phased.
-:func:`build_plan` therefore verifies the topology's routes are
-hop-position-disjoint and the system falls back to the event-driven
-path otherwise (e.g. the two-level tree, where a GPU's ingress link is
-hop 1 for intra-leaf traffic but hop 3 for cross-leaf traffic).
+Because every predecessor link on a message's route has been fully
+processed before its next link runs, each ``transmit_batch`` sees the
+same ready times, in the same call order, as the scalar engine -- for
+*any* topology whose route adjacency is acyclic, including multi-level
+fat trees where a leaf link serves hop 1 for intra-leaf traffic and
+hop 3 for cross-leaf traffic.  ``build_plan`` returns ``None`` (and
+the system falls back to the event-driven path) only when the
+adjacency graph genuinely contains a cycle.
 
 Equally, anything that makes per-message transmission stateful beyond
 the busy-time chain -- flow-control credits, armed fault schedules,
@@ -32,11 +47,19 @@ close.
 
 from __future__ import annotations
 
+from collections import deque
+from dataclasses import dataclass
+
 import numpy as np
 
 from .batch import FINEPACK_CODE, KINDS_BY_CODE, PACKED_KIND_CODES
 
 Edge = tuple[str, str]
+
+#: O(1) membership test for "kinds that carry packed stores", indexed
+#: by the uint8 kind code (hoisted out of :func:`drain_and_record`).
+_PACKED_KIND_LUT = np.zeros(256, dtype=bool)
+_PACKED_KIND_LUT[PACKED_KIND_CODES] = True
 
 
 def links_eligible(topology) -> bool:
@@ -52,30 +75,83 @@ def links_eligible(topology) -> bool:
     return True
 
 
-def build_plan(topology) -> dict[tuple[int, int], tuple[Edge, ...]] | None:
-    """Fault-free route (edge list) per GPU pair, or ``None``.
+@dataclass(frozen=True)
+class TransportPlan:
+    """Static per-topology routing for the batch transport.
 
-    Returns ``None`` when any link appears at two different hop
-    positions across the pair routes (see module docstring).
+    Attributes
+    ----------
+    routes:
+        Fault-free route (directed edge tuple) per ordered GPU pair.
+    link_order:
+        Every directed link appearing in a route, topologically ordered
+        over the route-adjacency DAG: by the time a link is processed,
+        every link feeding into it on any route is already done.
+    hop_disjoint:
+        True when no link serves two different hop positions (the old,
+        stricter eligibility criterion); kept for introspection --
+        hop-overlapping topologies like ``fat_tree`` run the same
+        event-ordered schedule.
     """
-    plan: dict[tuple[int, int], tuple[Edge, ...]] = {}
+
+    routes: dict[tuple[int, int], tuple[Edge, ...]]
+    link_order: tuple[Edge, ...]
+    hop_disjoint: bool
+
+
+def build_plan(topology) -> TransportPlan | None:
+    """Routes plus a topological link order, or ``None`` on a cycle.
+
+    The only structural reason to refuse is a cycle in the
+    route-adjacency graph (link A immediately before B on one route
+    and B before A on another) -- impossible for tree and mesh
+    topologies, where up-edges order by ascending level and down-edges
+    by descending level.
+    """
+    routes: dict[tuple[int, int], tuple[Edge, ...]] = {}
     hop_of_link: dict[Edge, int] = {}
+    hop_disjoint = True
+    # Successors in first-seen order (dict, not set: deterministic
+    # iteration) and in-degrees for Kahn's algorithm.
+    succ: dict[Edge, dict[Edge, None]] = {}
+    indeg: dict[Edge, int] = {}
     for s in range(topology.n_gpus):
         for d in range(topology.n_gpus):
             if s == d:
                 continue
             nodes = topology._path(s, d)
             edges = tuple(zip(nodes, nodes[1:]))
+            routes[(s, d)] = edges
             for hop, edge in enumerate(edges):
                 if hop_of_link.setdefault(edge, hop) != hop:
-                    return None
-            plan[(s, d)] = edges
-    return plan
+                    hop_disjoint = False
+                indeg.setdefault(edge, 0)
+                succ.setdefault(edge, {})
+            for prev, nxt in zip(edges, edges[1:]):
+                if nxt not in succ[prev]:
+                    succ[prev][nxt] = None
+                    indeg[nxt] += 1
+    queue = deque(e for e, deg in indeg.items() if deg == 0)
+    order: list[Edge] = []
+    while queue:
+        edge = queue.popleft()
+        order.append(edge)
+        for nxt in succ[edge]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+    if len(order) != len(indeg):
+        # Route adjacency contains a cycle: no link order can reproduce
+        # the scalar interleaving in one pass per link.
+        return None
+    return TransportPlan(
+        routes=routes, link_order=tuple(order), hop_disjoint=hop_disjoint
+    )
 
 
 def transmit_flat(
     topology,
-    plan: dict[tuple[int, int], tuple[Edge, ...]],
+    plan: TransportPlan,
     src: np.ndarray,
     dst: np.ndarray,
     issue: np.ndarray,
@@ -90,6 +166,10 @@ def transmit_flat(
 
     All arrays must already be in global issue order (stable-sorted by
     issue time) -- the order the scalar engine would process them.
+    Each used link is visited once, in the plan's topological order,
+    with its messages merged in ascending flat index (= issue order);
+    see the module docstring for why that reproduces the scalar
+    engine's per-link call sequence exactly.
     """
     ready = np.array(issue, dtype=np.float64, copy=True)
     if ready.size == 0:
@@ -99,33 +179,39 @@ def transmit_flat(
         raise ValueError("local traffic must not enter the interconnect")
     n_gpus = topology.n_gpus
     keys = src * n_gpus + dst
-    groups: list[tuple[tuple[Edge, ...], np.ndarray]] = []
-    max_hops = 0
+    # Per-link segments: (indices, hop position on that route).  A
+    # message crosses a given link at most once (routes are simple
+    # paths), so the merged indices below are unique.
+    by_link: dict[Edge, list[tuple[np.ndarray, int]]] = {}
     for key in np.unique(keys).tolist():
         s, d = divmod(key, n_gpus)
-        edges = plan[(s, d)]
-        groups.append((edges, np.flatnonzero(keys == key)))
-        max_hops = max(max_hops, len(edges))
+        idx = np.flatnonzero(keys == key)
+        for hop, edge in enumerate(plan.routes[(s, d)]):
+            by_link.setdefault(edge, []).append((idx, hop))
     forwarding = topology.forwarding_ns
-    for hop in range(max_hops):
-        by_link: dict[Edge, list[np.ndarray]] = {}
-        for edges, idx in groups:
-            if len(edges) > hop:
-                if hop > 0:
-                    ready[idx] += forwarding
-                by_link.setdefault(edges[hop], []).append(idx)
-        for edge, parts in by_link.items():
+    for edge in plan.link_order:
+        parts = by_link.get(edge)
+        if parts is None:
+            continue
+        # Switch forwarding is charged per hop > 0 *before* the link
+        # transmit, exactly like the scalar Topology.route.
+        for idx, hop in parts:
+            if hop > 0:
+                ready[idx] += forwarding
+        if len(parts) == 1:
+            idx = parts[0][0]
+        else:
             # Merged ascending indices == global issue order, which is
             # the order the scalar engine calls this link in.
-            idx = parts[0] if len(parts) == 1 else np.sort(np.concatenate(parts))
-            ready[idx] = topology.links[edge].transmit_batch(
-                ready[idx],
-                wire[idx],
-                payload[idx],
-                overhead[idx],
-                packed[idx],
-                kinds[idx],
-            )
+            idx = np.sort(np.concatenate([p[0] for p in parts]))
+        ready[idx] = topology.links[edge].transmit_batch(
+            ready[idx],
+            wire[idx],
+            payload[idx],
+            overhead[idx],
+            packed[idx],
+            kinds[idx],
+        )
     return ready
 
 
@@ -179,7 +265,7 @@ def drain_and_record(
     for i in np.argsort(first_seen, kind="stable").tolist():
         kind = KINDS_BY_CODE[int(codes[i])]
         packets.by_kind[kind] = packets.by_kind.get(kind, 0) + int(counts[i])
-    packs = packed[np.isin(kinds, PACKED_KIND_CODES)]
+    packs = packed[_PACKED_KIND_LUT[kinds]]
     if packs.size:
         packets.packed_counts.extend(packs.tolist())
     return latest

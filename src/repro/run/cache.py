@@ -11,11 +11,17 @@ Two storage layers:
 
 * an in-process memory layer (always on), giving serial sweeps the
   same generate-once behavior the old hand-rolled code had;
-* an optional on-disk layer (``root`` directory of ``.npz`` files via
-  :mod:`repro.trace.tracefile`), shared by worker processes and across
-  invocations.  Writes are atomic (temp file + ``os.replace``) so
-  concurrent workers racing on the same key are safe; corrupted or
-  truncated files are deleted and regenerated, never fatal.
+* an optional on-disk layer (``root`` directory of columnar
+  ``trace-<key>`` directories via :mod:`repro.trace.tracefile`),
+  shared by worker processes and across invocations.  Entries are
+  loaded with ``mmap_mode="r"`` by default, so parallel
+  ``execute_grid`` workers replaying the same trace share its pages
+  read-only instead of each materializing a private copy.  Writes are
+  atomic (temp directory + ``os.replace``) so concurrent workers
+  racing on the same key are safe; corrupted or truncated entries are
+  deleted and regenerated, never fatal.  Legacy single-file
+  ``trace-<key>.npz`` entries written by earlier versions are still
+  read.
 
 Cache traffic is counted in an :class:`~repro.obs.counters.CounterRegistry`
 (``trace_cache.hits`` / ``.misses`` / ``.corrupt``), which the executor
@@ -26,13 +32,14 @@ skipped generation.
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
 from pathlib import Path
 
 from ..obs.counters import CounterRegistry
 from ..perf import profiler as _prof
 from ..trace.stream import WorkloadTrace
-from ..trace.tracefile import load_trace, save_trace
+from ..trace.tracefile import load_trace, load_trace_dir, save_trace_dir
 
 #: Environment variable naming a persistent default cache directory.
 CACHE_ENV = "REPRO_TRACE_CACHE"
@@ -43,10 +50,15 @@ class TraceCache:
 
     ``root=None`` gives a memory-only cache (one process, one
     invocation); a directory path adds the shared on-disk layer.
+    ``mmap=False`` materializes disk loads instead of memory-mapping
+    them (for callers that mutate trace arrays in place).
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self, root: str | Path | None = None, mmap: bool = True
+    ) -> None:
         self.root = Path(root).expanduser() if root is not None else None
+        self.mmap = mmap
         self._memory: dict[str, WorkloadTrace] = {}
         self.counters = CounterRegistry()
 
@@ -58,6 +70,12 @@ class TraceCache:
     # -- addressing -------------------------------------------------
 
     def path_for(self, trace_key: str) -> Path | None:
+        """The columnar directory an entry lives in (``None`` memory-only)."""
+        if self.root is None:
+            return None
+        return self.root / f"trace-{trace_key}"
+
+    def _legacy_path_for(self, trace_key: str) -> Path | None:
         if self.root is None:
             return None
         return self.root / f"trace-{trace_key}.npz"
@@ -78,22 +96,11 @@ class TraceCache:
             self.counters.counter("trace_cache.hits").inc()
             return trace
 
-        path = self.path_for(key)
-        if path is not None and path.exists():
-            try:
-                trace = load_trace(path)
-            except Exception:
-                # Truncated/corrupted file (e.g. a killed worker):
-                # regenerate, never crash.
-                self.counters.counter("trace_cache.corrupt").inc()
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-            else:
-                self.counters.counter("trace_cache.hits").inc()
-                self._memory[key] = trace
-                return trace
+        trace = self._load_disk(key)
+        if trace is not None:
+            self.counters.counter("trace_cache.hits").inc()
+            self._memory[key] = trace
+            return trace
 
         self.counters.counter("trace_cache.misses").inc()
         if workload is None:
@@ -107,22 +114,47 @@ class TraceCache:
         if prof is not None:
             prof.end()
         self._memory[key] = trace
+        path = self.path_for(key)
         if path is not None:
             self._write_atomic(path, trace)
         return trace
 
+    def _load_disk(self, key: str) -> WorkloadTrace | None:
+        path = self.path_for(key)
+        if path is not None and path.is_dir():
+            try:
+                return load_trace_dir(path, mmap=self.mmap)
+            except Exception:
+                # Truncated/corrupted entry (e.g. a killed worker):
+                # regenerate, never crash.
+                self.counters.counter("trace_cache.corrupt").inc()
+                shutil.rmtree(path, ignore_errors=True)
+        legacy = self._legacy_path_for(key)
+        if legacy is not None and legacy.exists():
+            try:
+                return load_trace(legacy)
+            except Exception:
+                self.counters.counter("trace_cache.corrupt").inc()
+                try:
+                    legacy.unlink()
+                except OSError:
+                    pass
+        return None
+
     def _write_atomic(self, path: Path, trace: WorkloadTrace) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem + ".", suffix=".tmp.npz"
-        )
-        os.close(fd)
+        tmp = tempfile.mkdtemp(dir=path.parent, prefix=path.name + ".tmp.")
         try:
-            save_trace(trace, tmp)
-            os.replace(tmp, path)
+            save_trace_dir(trace, tmp)
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                # Lost a race against a concurrent worker that already
+                # published this key (non-empty target on some
+                # platforms): their entry is equivalent, keep it.
+                pass
         finally:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+            shutil.rmtree(tmp, ignore_errors=True)
 
     # -- introspection ----------------------------------------------
 

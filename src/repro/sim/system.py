@@ -167,9 +167,12 @@ class MultiGPUSystem:
         # Batch-transport eligibility, decided once per run: the
         # event-driven path stays authoritative whenever anything needs
         # per-message hooks or stateful links (tracers, armed faults,
-        # flow-control credits, replay RNGs), or the topology reuses a
-        # link at two hop positions (the two-level tree), where batched
-        # per-hop processing would reorder the link's call sequence.
+        # flow-control credits, replay RNGs).  Topology-wise the plan
+        # only requires an acyclic route adjacency (true for every
+        # tree/mesh factory, including multi-level fat trees): links
+        # are processed in topological order with per-link traffic
+        # merged in global issue order, reproducing the scalar call
+        # sequence exactly (see repro.perf.transport).
         plan = None
         if (
             get_perf_config().vector_transport

@@ -2,8 +2,19 @@
 
 Workload trace generation (running the real algorithm) dominates
 experiment wall time, so traces can be captured once and replayed under
-every paradigm/configuration.  The format is a single ``.npz`` archive:
-flat numpy arrays keyed by iteration/GPU, plus a JSON metadata blob.
+every paradigm/configuration.  Two on-disk formats:
+
+* :func:`save_trace` / :func:`load_trace` -- a single ``.npz`` archive
+  (flat numpy arrays keyed by iteration/GPU plus a JSON metadata blob);
+  compact and portable, the CLI's capture format.
+* :func:`save_trace_dir` / :func:`load_trace_dir` -- a *columnar
+  directory*: one flat ``.npy`` file per store/atomic/read column
+  (every phase concatenated, ``header.json`` recording each phase's
+  slice) loaded with ``np.load(..., mmap_mode="r")``.  Compressed zip
+  members cannot be memory-mapped, so this is the layout the
+  :class:`~repro.run.cache.TraceCache` disk layer uses: parallel
+  ``execute_grid`` workers replaying the same trace share the pages
+  read-only instead of each materializing a copy.
 """
 
 from __future__ import annotations
@@ -24,6 +35,18 @@ from .stream import (
 )
 
 _FORMAT_VERSION = 2
+
+#: Per-phase columns of the columnar directory layout, in file order.
+_COLUMNS = (
+    "addrs",
+    "sizes",
+    "dsts",
+    "aaddrs",
+    "asizes",
+    "adsts",
+    "rstarts",
+    "rends",
+)
 
 
 def save_trace(trace: WorkloadTrace, path: str | Path) -> None:
@@ -67,40 +90,38 @@ def save_trace(trace: WorkloadTrace, path: str | Path) -> None:
     np.savez_compressed(Path(path), **arrays)
 
 
-def load_trace(path: str | Path) -> WorkloadTrace:
-    """Read a trace written by :func:`save_trace`."""
-    with np.load(Path(path)) as data:
-        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
-        if header["version"] != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {header['version']}"
-            )
-        phases_by_iter: dict[int, list[KernelPhase]] = {}
-        for ph in header["phases"]:
-            key = ph["key"]
-            stores = RemoteStoreBatch(
-                data[f"{key}_addrs"], data[f"{key}_sizes"], data[f"{key}_dsts"]
-            )
-            atomics = RemoteStoreBatch(
-                data[f"{key}_aaddrs"], data[f"{key}_asizes"], data[f"{key}_adsts"]
-            )
-            reads = IntervalSet(
-                data[f"{key}_rstarts"].astype(np.int64),
-                data[f"{key}_rends"].astype(np.int64),
-            )
-            phase = KernelPhase(
-                gpu=ph["gpu"],
-                work=KernelWork(
-                    flops=ph["flops"],
-                    dram_bytes=ph["dram_bytes"],
-                    precision=ph["precision"],
-                ),
-                stores=stores,
-                atomics=atomics,
-                reads=reads,
-                dma=[DMATransfer(*t) for t in ph["dma"]],
-            )
-            phases_by_iter.setdefault(ph["iteration"], []).append(phase)
+def _as_int64(arr: np.ndarray) -> np.ndarray:
+    """``int64`` view without copying already-int64 arrays (keeps
+    memory-mapped slices zero-copy)."""
+    return arr if arr.dtype == np.int64 else arr.astype(np.int64)
+
+
+def _build_phase(ph: dict, columns: dict[str, np.ndarray]) -> KernelPhase:
+    """One :class:`KernelPhase` from a header entry plus its columns."""
+    return KernelPhase(
+        gpu=ph["gpu"],
+        work=KernelWork(
+            flops=ph["flops"],
+            dram_bytes=ph["dram_bytes"],
+            precision=ph["precision"],
+        ),
+        stores=RemoteStoreBatch(
+            columns["addrs"], columns["sizes"], columns["dsts"]
+        ),
+        atomics=RemoteStoreBatch(
+            columns["aaddrs"], columns["asizes"], columns["adsts"]
+        ),
+        reads=IntervalSet(
+            _as_int64(columns["rstarts"]), _as_int64(columns["rends"])
+        ),
+        dma=[DMATransfer(*t) for t in ph["dma"]],
+    )
+
+
+def _assemble(header: dict, phases: list[KernelPhase]) -> WorkloadTrace:
+    phases_by_iter: dict[int, list[KernelPhase]] = {}
+    for ph, phase in zip(header["phases"], phases):
+        phases_by_iter.setdefault(ph["iteration"], []).append(phase)
     iterations = [
         IterationTrace(sorted(phases_by_iter[i], key=lambda p: p.gpu))
         for i in sorted(phases_by_iter)
@@ -111,3 +132,117 @@ def load_trace(path: str | Path) -> WorkloadTrace:
         iterations=iterations,
         metadata=header["metadata"],
     )
+
+
+def load_trace(path: str | Path) -> WorkloadTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        if header["version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header['version']}"
+            )
+        phases = [
+            _build_phase(
+                ph,
+                {c: data[f"{ph['key']}_{c}"] for c in _COLUMNS},
+            )
+            for ph in header["phases"]
+        ]
+    return _assemble(header, phases)
+
+
+def save_trace_dir(trace: WorkloadTrace, path: str | Path) -> None:
+    """Write ``trace`` as a columnar directory (see module docstring).
+
+    Layout: ``<col>.npy`` per column in :data:`_COLUMNS` -- every
+    phase's arrays concatenated in header order -- plus ``header.json``
+    whose per-phase entries record ``slices[col] = [start, stop)``.
+    The header is written last, so a directory with a readable header
+    is complete (the cache layer additionally publishes whole
+    directories atomically via ``os.replace``).
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    header = {
+        "version": _FORMAT_VERSION,
+        "layout": "columnar",
+        "name": trace.name,
+        "n_gpus": trace.n_gpus,
+        "n_iterations": trace.n_iterations,
+        "metadata": trace.metadata,
+        "phases": [],
+    }
+    parts: dict[str, list[np.ndarray]] = {c: [] for c in _COLUMNS}
+    offsets = dict.fromkeys(_COLUMNS, 0)
+    for i, it in enumerate(trace.iterations):
+        for p in it.phases:
+            arrays = {
+                "addrs": p.stores.addrs,
+                "sizes": p.stores.sizes,
+                "dsts": p.stores.dsts,
+                "aaddrs": p.atomics.addrs,
+                "asizes": p.atomics.sizes,
+                "adsts": p.atomics.dsts,
+                "rstarts": p.reads.starts,
+                "rends": p.reads.ends,
+            }
+            slices = {}
+            for col in _COLUMNS:
+                arr = np.asarray(arrays[col], dtype=np.int64)
+                parts[col].append(arr)
+                slices[col] = [offsets[col], offsets[col] + int(arr.size)]
+                offsets[col] += int(arr.size)
+            header["phases"].append(
+                {
+                    "iteration": i,
+                    "gpu": p.gpu,
+                    "flops": p.work.flops,
+                    "dram_bytes": p.work.dram_bytes,
+                    "precision": p.work.precision,
+                    "dma": [
+                        [t.dst, t.dst_addr, t.nbytes, t.aggregated]
+                        for t in p.dma
+                    ],
+                    "slices": slices,
+                }
+            )
+    for col in _COLUMNS:
+        flat = (
+            np.concatenate(parts[col])
+            if parts[col]
+            else np.empty(0, dtype=np.int64)
+        )
+        np.save(path / f"{col}.npy", flat)
+    (path / "header.json").write_text(json.dumps(header))
+
+
+def load_trace_dir(path: str | Path, mmap: bool = True) -> WorkloadTrace:
+    """Read a columnar trace directory written by :func:`save_trace_dir`.
+
+    With ``mmap=True`` (the default) every column is memory-mapped
+    read-only: phase arrays are zero-copy slices backed by the page
+    cache, shared across any number of reader processes.
+    """
+    path = Path(path)
+    header = json.loads((path / "header.json").read_text())
+    if header["version"] != _FORMAT_VERSION or header.get("layout") != "columnar":
+        raise ValueError(
+            f"unsupported trace directory format: version "
+            f"{header.get('version')}, layout {header.get('layout')!r}"
+        )
+    mode = "r" if mmap else None
+    columns = {
+        col: np.load(path / f"{col}.npy", mmap_mode=mode) for col in _COLUMNS
+    }
+    phases = [
+        _build_phase(
+            ph,
+            {
+                col: columns[col][ph["slices"][col][0] : ph["slices"][col][1]]
+                for col in _COLUMNS
+            },
+        )
+        for ph in header["phases"]
+    ]
+    return _assemble(header, phases)

@@ -3,13 +3,15 @@
 Every collective workload is run through the fingerprint harness under
 p2p/dma/finepack on both new topology families:
 
-* ``switched_mesh`` -- plane-pinned two-hop routes keep the vectorized
-  batch transport eligible, so the fast run exercises it and must be
-  byte-identical to the scalar reference;
-* ``fat_tree`` -- leaf links serve several hop positions, the batch
-  plan is rejected, and the fast run must *fall back* to the scalar
-  engine (verified structurally below) while still fingerprinting
-  identically.
+* ``switched_mesh`` -- plane-pinned two-hop routes are hop-disjoint,
+  the simplest batch-eligible shape;
+* ``fat_tree`` -- leaf links serve several hop positions, but the
+  event-ordered transport plan (topologically ordered links, per-link
+  traffic merged in global issue order) keeps fat trees on the
+  vectorized fast path at every scale (verified structurally below).
+
+In both cases the fast run must be byte-identical to the scalar
+reference.
 
 A committed golden-fingerprint table pins representative cells as
 regression anchors: any change to collective lowering, topology
@@ -87,18 +89,27 @@ class TestFastPathEligibility:
         assert links_eligible(topo)
         plan = build_plan(topo)
         assert plan is not None
-        assert all(len(edges) == 2 for edges in plan.values())
+        assert plan.hop_disjoint
+        assert all(len(edges) == 2 for edges in plan.routes.values())
 
-    def test_fat_tree_triggers_scalar_fallback(self):
+    def test_fat_tree_is_batch_eligible(self):
         # Intra-leaf traffic uses a leaf link at hop 1, cross-leaf at a
-        # later hop -- the plan must be refused, like the two-level tree.
+        # later hop -- not hop-disjoint, but the route adjacency is
+        # acyclic so the event-ordered plan still covers it.
         topo = fat_tree(n_gpus=4, fanout=2)
         assert links_eligible(topo)
-        assert build_plan(topo) is None
+        plan = build_plan(topo)
+        assert plan is not None
+        assert not plan.hop_disjoint
 
-    def test_large_fat_trees_also_fall_back(self):
+    def test_large_fat_trees_stay_eligible(self):
         for n in (8, 16, 64):
-            assert build_plan(fat_tree(n_gpus=n)) is None
+            plan = build_plan(fat_tree(n_gpus=n))
+            assert plan is not None
+            # Every link used by some route appears exactly once in the
+            # topological processing order.
+            used = {e for edges in plan.routes.values() for e in edges}
+            assert sorted(plan.link_order) == sorted(used)
 
 
 @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
@@ -132,6 +143,15 @@ def test_fine_grained_stores_match_scalar():
 def test_eight_gpu_mesh_matches_scalar():
     fast, scalar = fingerprints(
         spec_for("alltoall", "finepack", "switched_mesh", n_gpus=8)
+    )
+    assert fast == scalar
+
+
+def test_sixteen_gpu_fat_tree_matches_scalar():
+    # The scale point the event-ordered plan exists for: a three-level
+    # fat tree whose leaf links serve several hop positions.
+    fast, scalar = fingerprints(
+        spec_for("allreduce_ring", "finepack", "fat_tree", n_gpus=16)
     )
     assert fast == scalar
 

@@ -71,9 +71,9 @@ def test_fast_matches_scalar_with_atomics():
 
 @pytest.mark.parametrize("paradigm", PARADIGMS)
 def test_fast_matches_scalar_two_level_topology(paradigm):
-    # Links appear at multiple hop positions in the tree, so the batch
-    # transport plan is rejected and the fast run must take the scalar
-    # fallback -- still byte-identical.
+    # Links appear at multiple hop positions in the tree; the
+    # event-ordered transport plan keeps the run on the batch path and
+    # must stay byte-identical.
     fast, scalar = fingerprints(
         spec_for("jacobi", paradigm, n_gpus=4, topology="two_level")
     )

@@ -105,3 +105,22 @@ class TestProfileCLI:
     def test_profile_rejects_bad_repeat(self):
         with pytest.raises(SystemExit):
             self.run_cli("profile", "jacobi", "--repeat", "0")
+
+    def test_profile_topology_flags(self, tmp_path):
+        """``repro profile`` profiles on any registered topology and
+        the JSON report records which one (issue: thread the topology
+        flags through the profiling entry points)."""
+        report = tmp_path / "p.json"
+        text = self.run_cli(
+            "profile", "allreduce_ring", "finepack",
+            "--gpus", "8", "--iterations", "1",
+            "--topology", "fat_tree", "--fanout", "2",
+            "--json", str(report),
+        )
+        assert "allreduce_ring/finepack [fast]" in text
+        body = json.loads(report.read_text())
+        assert body["topology"] == "fat_tree"
+        assert body["topology_params"] == {"fanout": 2}
+        # Fat trees ride the event-ordered batch transport: no
+        # per-message scalar dispatch stage in the fast profile.
+        assert "engine_dispatch" not in {r["stage"] for r in body["stages"]}

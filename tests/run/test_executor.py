@@ -118,9 +118,9 @@ class TestExecutorContract:
 class TestCacheIntegration:
     def test_parallel_grid_shares_disk_cache(self, tmp_path):
         execute_grid(GRID, jobs=4, trace_cache=tmp_path)
-        # 2 workloads -> at most 2 distinct trace files, never 4
-        files = list(tmp_path.glob("trace-*.npz"))
-        assert 1 <= len(files) <= 2
+        # 2 workloads -> at most 2 distinct trace entries, never 4
+        entries = list(tmp_path.glob("trace-*/header.json"))
+        assert 1 <= len(entries) <= 2
 
     def test_warm_cache_skips_all_generation(self, tmp_path):
         """The observable proof: a warm cache turns every lookup into a

@@ -2,26 +2,41 @@
 """Perf-regression benchmark for the vectorized fast paths
 (``make bench-perf``).
 
-Runs the full 8-workload suite under three paradigms twice -- once with
-every fast path enabled (the default configuration) and once with the
-scalar reference paths -- on a shared pre-warmed trace cache, and
-writes ``BENCH_core.json`` with:
+Two suites, each run twice -- once with every fast path enabled (the
+default configuration) and once with the scalar reference paths -- on
+shared pre-warmed trace caches:
 
-* per-run wall clock and per-stage breakdowns (fast and scalar);
-* the end-to-end speedup ``scalar_s / fast_s``;
-* a byte-identity verdict: every run's ``RunMetrics`` fingerprint must
-  match between modes, else the exit status is non-zero.
+* the **core** suite: the full 8-workload set under three paradigms on
+  the default single-switch topology (``--gpus``/``--iterations`` and
+  the ``--topology``/``--fanout``/``--oversubscription``/``--planes``
+  flags reshape it);
+* the **collectives** suite: the five collective workloads under three
+  paradigms on a 16-GPU fat tree (fanout 4) -- the hop-overlapping
+  shape the event-ordered batch transport keeps on the fast path.
 
-``--check BASELINE`` compares against a committed ``BENCH_core.json``
-and fails if the measured speedup drops below ``--threshold`` (default
-0.75) times the baseline speedup.  The gate is a *ratio of ratios*, so
-it is machine-independent: absolute seconds differ across CI runners,
-but "how much faster is fast than scalar on the same box" should not.
+``BENCH_core.json`` records, per suite: per-run wall clock and
+per-stage breakdowns (fast and scalar), the end-to-end speedup
+``scalar_s / fast_s``, and a byte-identity verdict -- every run's
+``RunMetrics`` fingerprint must match between modes, else the exit
+status is non-zero.
+
+Gates (all must pass for exit 0):
+
+* absolute speedup floors: core >= ``--min-speedup`` (default 2.5x),
+  collectives >= ``--min-collective-speedup`` (default 2.0x);
+* ``--check BASELINE`` additionally compares against a committed
+  ``BENCH_core.json`` and fails if a measured speedup drops below
+  ``--threshold`` (default 0.75) times the baseline's.  The gate is a
+  *ratio of ratios*, so it is machine-independent: absolute seconds
+  differ across CI runners, but "how much faster is fast than scalar
+  on the same box" should not.
 
 Usage::
 
     python tools/bench_perf.py [--out BENCH_core.json]
                                [--check BENCH_core.json] [--threshold 0.75]
+                               [--min-speedup 2.5] [--min-collective-speedup 2.0]
+                               [--skip-collectives]
 """
 
 from __future__ import annotations
@@ -38,13 +53,57 @@ from repro.perf.harness import profile_run  # noqa: E402
 from repro.run import RunSpec, TraceCache  # noqa: E402
 
 WORKLOADS = ("als", "ct", "diffusion", "eqwp", "hit", "jacobi", "pagerank", "sssp")
+COLLECTIVES = ("allreduce_ring", "allreduce_tree", "allgather", "alltoall", "pipeline")
 PARADIGMS = ("p2p", "dma", "finepack")
 
+#: The collectives-at-scale shape: hop-overlapping fat tree.
+COLLECTIVE_SUITE = {
+    "n_gpus": 16,
+    "iterations": 2,
+    "topology": "fat_tree",
+    "topology_params": {"fanout": 4},
+}
 
-def build_suite() -> list[RunSpec]:
+
+def _topology_params(args) -> dict:
+    params = {}
+    if args.fanout is not None:
+        params["fanout"] = args.fanout
+    if args.oversubscription is not None:
+        params["oversubscription"] = args.oversubscription
+    if args.planes is not None:
+        params["planes"] = args.planes
+    return params
+
+
+def build_core_suite(args) -> list[RunSpec]:
+    params = _topology_params(args)
     return [
-        RunSpec(workload=w, paradigm=p, n_gpus=4, iterations=3)
+        RunSpec(
+            workload=w,
+            paradigm=p,
+            n_gpus=args.gpus,
+            iterations=args.iterations,
+            topology=args.topology,
+            topology_params=params,
+        )
         for w in WORKLOADS
+        for p in PARADIGMS
+    ]
+
+
+def build_collective_suite() -> list[RunSpec]:
+    shape = COLLECTIVE_SUITE
+    return [
+        RunSpec(
+            workload=w,
+            paradigm=p,
+            n_gpus=shape["n_gpus"],
+            iterations=shape["iterations"],
+            topology=shape["topology"],
+            topology_params=shape["topology_params"],
+        )
+        for w in COLLECTIVES
         for p in PARADIGMS
     ]
 
@@ -76,34 +135,17 @@ def stage_totals(rows) -> dict[str, float]:
     return {k: round(v, 2) for k, v in sorted(totals.items())}
 
 
-def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default="BENCH_core.json")
-    ap.add_argument(
-        "--check",
-        default=None,
-        metavar="BASELINE",
-        help="fail if speedup < threshold * baseline speedup",
-    )
-    ap.add_argument("--threshold", type=float, default=0.75)
-    args = ap.parse_args(argv)
-
-    # Read the baseline up front: --check and --out may name the same
-    # committed file (the refresh-in-place workflow).
-    baseline = None
-    if args.check:
-        baseline = json.loads(Path(args.check).read_text())
-
-    specs = build_suite()
+def bench(name: str, specs) -> dict:
+    """Warm a cache, run fast + scalar passes, return the report block."""
     cache = TraceCache()
-    print(f"warming trace cache ({len(specs)} runs) ...", flush=True)
+    print(f"[{name}] warming trace cache ({len(specs)} runs) ...", flush=True)
     for spec in specs:
         cache.get_or_generate(spec)
 
-    print("fast pass ...", flush=True)
+    print(f"[{name}] fast pass ...", flush=True)
     fast_s, fast_rows = run_suite(specs, cache, scalar=False)
     print(f"  {fast_s:.2f} s")
-    print("scalar pass ...", flush=True)
+    print(f"[{name}] scalar pass ...", flush=True)
     scalar_s, scalar_rows = run_suite(specs, cache, scalar=True)
     print(f"  {scalar_s:.2f} s")
 
@@ -113,45 +155,149 @@ def main(argv=None) -> int:
         if f["fingerprint"] != s["fingerprint"]
     ]
     speedup = scalar_s / fast_s if fast_s else float("inf")
-    report = {
-        "suite": {
-            "workloads": list(WORKLOADS),
-            "paradigms": list(PARADIGMS),
-            "n_gpus": 4,
-            "iterations": 3,
-        },
+    return {
         "fast_s": round(fast_s, 3),
         "scalar_s": round(scalar_s, 3),
         "speedup": round(speedup, 3),
         "byte_identical": not mismatches,
+        "mismatches": mismatches,
         "stage_totals_ms": {
             "fast": stage_totals(fast_rows),
             "scalar": stage_totals(scalar_rows),
         },
         "runs": {"fast": fast_rows, "scalar": scalar_rows},
     }
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(
-        f"wrote {args.out}: speedup {speedup:.2f}x "
-        f"({scalar_s:.2f} s scalar / {fast_s:.2f} s fast)"
-    )
 
+
+def gate(name: str, block: dict, floor: float, baseline_speedup, threshold) -> bool:
+    """Print verdicts for one suite; ``True`` means failed."""
     failed = False
-    if mismatches:
-        print(f"FAIL: {len(mismatches)} run(s) not byte-identical: {mismatches}")
-        failed = True
-    if baseline is not None:
-        floor = args.threshold * baseline["speedup"]
+    if block["mismatches"]:
         print(
-            f"baseline speedup {baseline['speedup']:.2f}x; "
-            f"gate: >= {floor:.2f}x"
+            f"FAIL [{name}]: {len(block['mismatches'])} run(s) not "
+            f"byte-identical: {block['mismatches']}"
         )
-        if speedup < floor:
+        failed = True
+    if block["speedup"] < floor:
+        print(
+            f"FAIL [{name}]: speedup {block['speedup']:.2f}x below the "
+            f"absolute floor {floor:.2f}x"
+        )
+        failed = True
+    if baseline_speedup is not None:
+        rel_floor = threshold * baseline_speedup
+        print(
+            f"[{name}] baseline speedup {baseline_speedup:.2f}x; "
+            f"gate: >= {rel_floor:.2f}x"
+        )
+        if block["speedup"] < rel_floor:
             print(
-                f"FAIL: speedup {speedup:.2f}x regressed below "
-                f"{args.threshold} x baseline ({floor:.2f}x)"
+                f"FAIL [{name}]: speedup {block['speedup']:.2f}x regressed "
+                f"below {threshold} x baseline ({rel_floor:.2f}x)"
             )
             failed = True
+    return failed
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_core.json")
+    ap.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="fail if a speedup < threshold * the baseline's speedup",
+    )
+    ap.add_argument("--threshold", type=float, default=0.75)
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.5,
+        help="absolute fast-over-scalar floor for the core suite",
+    )
+    ap.add_argument(
+        "--min-collective-speedup",
+        type=float,
+        default=2.0,
+        help="absolute fast-over-scalar floor for the collectives suite",
+    )
+    ap.add_argument(
+        "--skip-collectives",
+        action="store_true",
+        help="run only the core suite (quick local iteration)",
+    )
+    ap.add_argument("--gpus", type=int, default=4, help="core-suite GPU count")
+    ap.add_argument("--iterations", type=int, default=3)
+    ap.add_argument(
+        "--topology",
+        default=None,
+        help="core-suite topology registry kind (default: single_switch)",
+    )
+    ap.add_argument("--fanout", type=int, default=None)
+    ap.add_argument("--oversubscription", type=float, default=None)
+    ap.add_argument("--planes", type=int, default=None)
+    args = ap.parse_args(argv)
+
+    if args.topology is None and _topology_params(args):
+        ap.error("--fanout/--oversubscription/--planes require --topology")
+
+    # Read the baseline up front: --check and --out may name the same
+    # committed file (the refresh-in-place workflow).
+    baseline = None
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+
+    core = bench("core", build_core_suite(args))
+    report = {
+        "suite": {
+            "workloads": list(WORKLOADS),
+            "paradigms": list(PARADIGMS),
+            "n_gpus": args.gpus,
+            "iterations": args.iterations,
+            "topology": args.topology,
+            "topology_params": _topology_params(args),
+        },
+        **{k: v for k, v in core.items() if k != "mismatches"},
+    }
+
+    collectives = None
+    if not args.skip_collectives:
+        collectives = bench("collectives", build_collective_suite())
+        report["collectives"] = {
+            "suite": {
+                "workloads": list(COLLECTIVES),
+                "paradigms": list(PARADIGMS),
+                **COLLECTIVE_SUITE,
+            },
+            **{k: v for k, v in collectives.items() if k != "mismatches"},
+        }
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    line = f"wrote {args.out}: core speedup {core['speedup']:.2f}x"
+    if collectives is not None:
+        line += f", collectives speedup {collectives['speedup']:.2f}x"
+    print(line)
+
+    failed = gate(
+        "core",
+        core,
+        args.min_speedup,
+        baseline["speedup"] if baseline is not None else None,
+        args.threshold,
+    )
+    if collectives is not None:
+        base_coll = (
+            baseline.get("collectives", {}).get("speedup")
+            if baseline is not None
+            else None
+        )
+        failed |= gate(
+            "collectives",
+            collectives,
+            args.min_collective_speedup,
+            base_coll,
+            args.threshold,
+        )
     return 1 if failed else 0
 
 
