@@ -179,6 +179,97 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         "(shared across processes and invocations; default: "
         "$REPRO_TRACE_CACHE if set, else in-memory only)",
     )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock budget; a hung worker is killed, the "
+        "cell retried (requires --jobs > 1)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-attempts per grid cell after a crash/hang/error before "
+        "it is quarantined (default 2, i.e. up to 3 attempts)",
+    )
+    p.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="finish the grid even if cells exhaust their retry budget; "
+        "failed cells are reported and omitted from the table",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted invocation from its grid journal, "
+        "re-running only unfinished or quarantined cells (requires "
+        "--trace-cache DIR, where the journal and outcome store live)",
+    )
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """`execute_grid` resilience knobs from the parallel CLI flags.
+
+    Journaling (and with it the colocated outcome store) switches on
+    whenever a disk trace cache gives it a durable home -- that is what
+    makes a killed ``repro sweep --trace-cache DIR ...`` resumable by
+    re-running the same command with ``--resume``.
+    """
+    if args.resume and not args.trace_cache:
+        raise SystemExit("--resume requires --trace-cache DIR")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"--timeout must be positive, got {args.timeout:g}")
+    if args.retries is not None and args.retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {args.retries}")
+    kwargs: dict = {"strict": not args.no_strict}
+    if args.timeout is not None:
+        kwargs["timeout"] = args.timeout
+    if args.retries is not None:
+        kwargs["retries"] = args.retries
+    if args.trace_cache:
+        kwargs["journal"] = args.trace_cache
+        kwargs["resume"] = args.resume
+    return kwargs
+
+
+def _print_resilience_stats(
+    retry_stats: dict | None,
+    outcome_cache: dict | None,
+    failures,
+    args: argparse.Namespace,
+    out,
+) -> None:
+    """Surface executor retry/quarantine accounting and outcome-store
+    traffic; failed cells are always reported."""
+    if retry_stats and (retry_stats.get("retried") or retry_stats.get("quarantined")):
+        print(
+            f"executor: {retry_stats['attempts']} attempt(s), "
+            f"{retry_stats['retried']} retried, "
+            f"{retry_stats['quarantined']} quarantined "
+            f"({retry_stats['crashes']} crash(es), "
+            f"{retry_stats['timeouts']} timeout(s), "
+            f"{retry_stats['errors']} error(s))",
+            file=out,
+        )
+    if outcome_cache and args.trace_cache and (
+        outcome_cache.get("hits") or outcome_cache.get("misses")
+    ):
+        print(
+            f"outcome store: {outcome_cache['hits']} hit(s), "
+            f"{outcome_cache['misses']} miss(es), "
+            f"{outcome_cache['corrupt']} corrupt",
+            file=out,
+        )
+    for f in failures or ():
+        print(
+            f"FAILED cell {f.index} [{f.spec.workload}/{f.spec.paradigm}]: "
+            f"{f.kind} {f.error_type} after {f.attempts} attempt(s): "
+            f"{f.message}",
+            file=out,
+        )
 
 
 def _check_jobs(args: argparse.Namespace) -> int:
@@ -347,6 +438,10 @@ def cmd_sweep(args, out) -> int:
 
     rows = []
     cache_stats = {"hits": 0, "misses": 0, "corrupt": 0}
+    retry_stats: dict = {}
+    outcome_cache: dict = {}
+    failures = []
+    resilience = _resilience_kwargs(args)
     for name in names:
         base = RunSpec.for_workload(_workload(name), **config.spec_fields())
         prefix = f"{name}:" if len(names) > 1 else ""
@@ -378,9 +473,15 @@ def cmd_sweep(args, out) -> int:
             jobs=jobs,
             trace_cache=args.trace_cache,
             tracer_factory=tracer_factory,
+            **resilience,
         )
         for k, v in run.cache_stats().items():
             cache_stats[k] += v
+        for k, v in run.retry_stats.items():
+            retry_stats[k] = retry_stats.get(k, 0) + v
+        for k, v in run.outcome_cache.items():
+            outcome_cache[k] = outcome_cache.get(k, 0) + v
+        failures += run.failures
         rows += [
             [p.label, p.speedup, p.metrics.goodput,
              p.metrics.wire_bytes / 1e6,
@@ -397,6 +498,7 @@ def cmd_sweep(args, out) -> int:
         file=out,
     )
     _print_cache_stats(cache_stats, args, out)
+    _print_resilience_stats(retry_stats, outcome_cache, failures, args, out)
     if tracers:
         from .obs import write_chrome_trace
 
@@ -418,6 +520,7 @@ def cmd_compare(args, out) -> int:
         _config(args),
         jobs=jobs,
         trace_cache=args.trace_cache,
+        **_resilience_kwargs(args),
     )
     rows = [
         [
@@ -522,9 +625,13 @@ def cmd_chaos(args, out) -> int:
         tracer_factory=tracer_factory,
         jobs=jobs,
         trace_cache=args.trace_cache,
+        **_resilience_kwargs(args),
     )
     print(format_chaos_table(result), file=out)
     _print_cache_stats(result.cache_stats, args, out)
+    _print_resilience_stats(
+        result.retry_stats, result.outcome_cache, result.failures, args, out
+    )
     degraded = [p for p in result.points if p.degraded]
     if degraded:
         print(

@@ -72,6 +72,14 @@ class ChaosResult:
     #: when the sweep ran through the grid executor; ``None`` for the
     #: in-process fallback path.  Excluded from :meth:`as_dict`.
     cache_stats: dict | None = field(default=None, compare=False)
+    #: Executor retry/quarantine accounting (grid path only).
+    retry_stats: dict | None = field(default=None, compare=False)
+    #: Outcome-store traffic for the sweep (grid path only).
+    outcome_cache: dict | None = field(default=None, compare=False)
+    #: :class:`~repro.run.resilience.CellFailure` records of cells that
+    #: exhausted their retry budget in a ``strict=False`` sweep; such
+    #: cells have no :class:`ChaosPoint`.
+    failures: list = field(default_factory=list, compare=False)
 
     def baseline(self, paradigm: str) -> ChaosPoint | None:
         """The intensity-0 (fault-free) point for one paradigm."""
@@ -115,6 +123,7 @@ def chaos_sweep(
     tracer_factory=None,
     jobs: int = 1,
     trace_cache=None,
+    **resilience,
 ) -> ChaosResult:
     """Sweep ``schedule`` intensity over ``paradigms`` for one workload.
 
@@ -142,12 +151,21 @@ def chaos_sweep(
     trace_cache:
         Optional :class:`repro.run.TraceCache` (or directory) sharing
         the workload trace across worker processes and invocations.
+    **resilience:
+        Supervised-executor knobs forwarded to
+        :func:`repro.run.execute_grid` -- ``strict``, ``timeout``,
+        ``retries``, ``retry``, ``outcome_store``, ``journal``,
+        ``resume``.  With ``strict=False`` a cell that exhausts its
+        retry budget lands in :attr:`ChaosResult.failures` instead of
+        aborting the sweep (crash-survivable chaos campaigns).  The
+        in-process fallback path for unregistered workloads ignores
+        them.
 
     The trace is generated once and shared by all points, so the sweep
     isolates fabric behavior exactly like the paper's paradigm
     comparisons.
     """
-    from ..run import RunSpec, aggregate_cache_stats, execute_grid
+    from ..run import GridExecutionError, RunSpec, execute_grid
     from ..sim.runner import ExperimentConfig
 
     config = config or ExperimentConfig()
@@ -174,24 +192,38 @@ def chaos_sweep(
             )
             for intensity, name in grid
         ]
-        outcomes = execute_grid(
+        strict = resilience.pop("strict", True)
+        grid_outcome = execute_grid(
             specs,
             jobs=jobs,
             trace_cache=trace_cache,
             tracer_factory=tracer_factory,
             labels=labels,
+            strict=False,
+            **resilience,
         )
-        for (intensity, name), outcome in zip(grid, outcomes):
+        if strict and not grid_outcome.ok:
+            raise GridExecutionError(grid_outcome)
+        from ..run.resilience import CellFailure
+
+        for (intensity, name), cell in zip(grid, grid_outcome.cells):
+            if isinstance(cell, CellFailure):
+                result.failures.append(cell)
+                continue
             result.points.append(
                 ChaosPoint(
                     intensity,
                     name,
-                    outcome.metrics,
-                    degraded=outcome.degraded,
-                    reasons=outcome.reasons,
+                    cell.metrics,
+                    degraded=cell.degraded,
+                    reasons=cell.reasons,
                 )
             )
-        result.cache_stats = aggregate_cache_stats(outcomes)
+        from ..run import aggregate_cache_stats
+
+        result.cache_stats = aggregate_cache_stats(grid_outcome)
+        result.retry_stats = dict(grid_outcome.retry_stats)
+        result.outcome_cache = dict(grid_outcome.outcome_cache)
         return result
 
     # In-process fallback for ad-hoc (unregistered) workload objects.

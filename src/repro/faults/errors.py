@@ -32,5 +32,14 @@ class DegradedRunError(FaultError):
     def __init__(self, message: str, metrics=None, reasons: tuple[str, ...] = ()) -> None:
         self.metrics = metrics
         self.reasons = reasons
+        self._message = message
         detail = f" ({'; '.join(reasons)})" if reasons else ""
         super().__init__(message + detail)
+
+    def __reduce__(self):
+        # Reconstruct from the *original* message, not the composed
+        # args, so crossing a process boundary (the parallel executor's
+        # workers) cannot double-append the reasons detail and the
+        # metrics/reasons payload survives the round trip by contract
+        # rather than by BaseException.__reduce__ accident.
+        return (DegradedRunError, (self._message, self.metrics, self.reasons))

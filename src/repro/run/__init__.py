@@ -28,11 +28,39 @@ Quick start::
 
     grid = [spec.with_options(paradigm=p) for p in ("p2p", "dma", "finepack")]
     outcomes = execute_grid(grid, jobs=4)      # parallel, order-preserving
+
+The executor is *supervised* (:mod:`repro.run.resilience`): per-cell
+futures with wall-clock timeouts, retry/backoff/quarantine for crashed
+or hung workers, ``strict=False`` partial-grid degradation
+(:class:`GridOutcome` of ``RunOutcome | CellFailure``), plus durability
+via the content-addressed :class:`OutcomeStore` and a resumable
+:class:`GridJournal`::
+
+    grid = execute_grid(specs, jobs=4, strict=False,
+                        timeout=120.0, retries=2,
+                        journal="runs/", resume=True)
+    for failure in grid.failures():
+        print(failure.as_dict())
 """
 
 from .cache import CACHE_ENV, TraceCache
 from .context import RunContext, RunOutcome
-from .executor import SweepRun, aggregate_cache_stats, execute_grid, labeled_sweep
+from .executor import (
+    CellExecutionError,
+    SweepRun,
+    aggregate_cache_stats,
+    execute_grid,
+    labeled_sweep,
+)
+from .outcomes import OUTCOME_ENV, OutcomeStore
+from .resilience import (
+    CellFailure,
+    GridExecutionError,
+    GridJournal,
+    GridOutcome,
+    RetryPolicy,
+    grid_key,
+)
 from .spec import RunSpec, freeze_params
 
 __all__ = [
@@ -46,4 +74,13 @@ __all__ = [
     "execute_grid",
     "labeled_sweep",
     "freeze_params",
+    "OutcomeStore",
+    "OUTCOME_ENV",
+    "RetryPolicy",
+    "CellFailure",
+    "CellExecutionError",
+    "GridOutcome",
+    "GridExecutionError",
+    "GridJournal",
+    "grid_key",
 ]

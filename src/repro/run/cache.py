@@ -44,6 +44,13 @@ from ..trace.tracefile import load_trace, load_trace_dir, save_trace_dir
 #: Environment variable naming a persistent default cache directory.
 CACHE_ENV = "REPRO_TRACE_CACHE"
 
+#: Set (to anything non-empty) to verify columnar entries against their
+#: recorded SHA-256 checksums on every disk load.  Off by default: the
+#: mmap fast path stays zero-copy, and atomic publishes already protect
+#: against torn writes -- verification is for long-lived shared caches
+#: on storage you do not fully trust.
+VERIFY_ENV = "REPRO_TRACE_VERIFY"
+
 
 class TraceCache:
     """Memory + optional-disk cache of generated workload traces.
@@ -52,13 +59,22 @@ class TraceCache:
     invocation); a directory path adds the shared on-disk layer.
     ``mmap=False`` materializes disk loads instead of memory-mapping
     them (for callers that mutate trace arrays in place).
+    ``verify=True`` (or ``$REPRO_TRACE_VERIFY``) checks columnar
+    entries against their recorded checksums on load; mismatches count
+    as corrupt and regenerate.
     """
 
     def __init__(
-        self, root: str | Path | None = None, mmap: bool = True
+        self,
+        root: str | Path | None = None,
+        mmap: bool = True,
+        verify: bool | None = None,
     ) -> None:
         self.root = Path(root).expanduser() if root is not None else None
         self.mmap = mmap
+        self.verify = (
+            bool(os.environ.get(VERIFY_ENV)) if verify is None else verify
+        )
         self._memory: dict[str, WorkloadTrace] = {}
         self.counters = CounterRegistry()
 
@@ -123,7 +139,7 @@ class TraceCache:
         path = self.path_for(key)
         if path is not None and path.is_dir():
             try:
-                return load_trace_dir(path, mmap=self.mmap)
+                return load_trace_dir(path, mmap=self.mmap, verify=self.verify)
             except Exception:
                 # Truncated/corrupted entry (e.g. a killed worker):
                 # regenerate, never crash.

@@ -48,8 +48,18 @@ class RunOutcome:
     degraded: bool = False
     reasons: tuple[str, ...] = ()
     #: ``{"hits": h, "misses": m, "corrupt": c}`` trace-cache deltas
-    #: attributable to this run.
-    cache_stats: dict[str, int] = field(default_factory=dict)
+    #: attributable to this run.  Accounting only -- excluded from
+    #: equality so serial, parallel, cached and resumed runs of the same
+    #: spec compare equal on what the simulation actually produced.
+    cache_stats: dict[str, int] = field(default_factory=dict, compare=False)
+    #: Pid of the worker process that executed the run (``None``
+    #: in-process).  Accounting only, like everything below.
+    worker_pid: int | None = field(default=None, compare=False)
+    #: Attempts the supervised executor spent on this cell (>= 1).
+    attempts: int = field(default=1, compare=False)
+    #: True when this outcome was served from an
+    #: :class:`~repro.run.outcomes.OutcomeStore` instead of simulated.
+    cached: bool = field(default=False, compare=False)
 
 
 class RunContext:

@@ -1,0 +1,189 @@
+"""Content-addressed store of completed :class:`RunOutcome`\\ s.
+
+The :class:`~repro.run.cache.TraceCache` deduplicates the *input* side
+of a grid (workload traces); the :class:`OutcomeStore` deduplicates the
+*output* side: a finished :class:`~repro.run.context.RunOutcome` is
+persisted under :meth:`RunSpec.key() <repro.run.spec.RunSpec.key>` --
+the content hash of everything that determines the result -- so an
+identical spec is never simulated twice.  This is the durability layer
+the resilient executor (:mod:`repro.run.resilience`) journals against:
+an interrupted grid resumes by reloading finished cells from the store,
+and a repeated sweep against a warm store skips simulation entirely.
+
+Two storage layers, mirroring the trace cache:
+
+* an in-process memory layer (always on), holding the *serialized*
+  outcome bytes so every ``get`` returns a fresh object -- callers can
+  never alias mutable metrics across grid cells;
+* an optional on-disk layer (``root`` directory of
+  ``outcome-<key>.pkl`` files), shared across processes and
+  invocations.  Every file carries a leading SHA-256 line over its
+  pickle payload; writes are atomic (temp file + ``os.replace``) and a
+  checksum mismatch or unreadable entry is deleted and counted, never
+  fatal -- exactly the trace cache's corruption contract.
+
+Traffic is counted in a :class:`~repro.obs.counters.CounterRegistry`
+(``outcome_cache.hits`` / ``.misses`` / ``.corrupt``), surfaced by the
+executor as the grid's ``outcome_cache`` stats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from ..obs.counters import CounterRegistry
+
+#: Environment variable naming a persistent default store directory.
+OUTCOME_ENV = "REPRO_OUTCOME_STORE"
+
+#: Magic first-line prefix of a store file (versioned for migrations).
+_MAGIC = b"repro-outcome/1 sha256="
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).hexdigest().encode("ascii")
+
+
+class OutcomeStore:
+    """Memory + optional-disk store of executed run outcomes.
+
+    ``root=None`` gives a memory-only store (one process, one
+    invocation); a directory path adds the shared, checksummed on-disk
+    layer.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None else None
+        self._memory: dict[str, bytes] = {}
+        self.counters = CounterRegistry()
+
+    @classmethod
+    def from_env(cls) -> "OutcomeStore":
+        """A store rooted at ``$REPRO_OUTCOME_STORE`` (memory-only if unset)."""
+        return cls(os.environ.get(OUTCOME_ENV) or None)
+
+    @classmethod
+    def colocated(cls, trace_cache) -> "OutcomeStore":
+        """A store living next to a :class:`TraceCache`'s disk layer.
+
+        Disk-backed caches get ``<cache root>/outcomes``; memory-only
+        caches get a memory-only store.
+        """
+        root = getattr(trace_cache, "root", None)
+        return cls(None if root is None else Path(root) / "outcomes")
+
+    # -- addressing -------------------------------------------------
+
+    def path_for(self, key: str) -> Path | None:
+        """The file an entry lives in (``None`` when memory-only)."""
+        if self.root is None:
+            return None
+        return self.root / f"outcome-{key}.pkl"
+
+    # -- lookup / insert --------------------------------------------
+
+    def get(self, spec_or_key):
+        """The stored :class:`RunOutcome` for a spec (or raw key), or
+        ``None``.
+
+        Returned outcomes are freshly deserialized (never aliased) and
+        carry ``cached=True``.  Corrupted disk entries are deleted,
+        counted, and treated as misses.
+        """
+        key = spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
+        payload = self._memory.get(key)
+        if payload is None:
+            payload = self._load_disk(key)
+        if payload is None:
+            self.counters.counter("outcome_cache.misses").inc()
+            return None
+        try:
+            outcome = pickle.loads(payload)
+        except Exception:
+            self._drop_corrupt(key)
+            self.counters.counter("outcome_cache.misses").inc()
+            return None
+        self.counters.counter("outcome_cache.hits").inc()
+        outcome.cached = True
+        # The original run's trace-cache deltas are history, not this
+        # invocation's traffic -- a served outcome touched no traces.
+        outcome.cache_stats = dict.fromkeys(outcome.cache_stats, 0)
+        self._memory[key] = payload
+        return outcome
+
+    def put(self, outcome) -> str:
+        """Persist a completed outcome under its spec's key; returns it."""
+        key = outcome.spec.key()
+        payload = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+        self._memory[key] = payload
+        path = self.path_for(key)
+        if path is not None:
+            self._write_atomic(path, payload)
+        return key
+
+    def __contains__(self, spec_or_key) -> bool:
+        key = spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
+        if key in self._memory:
+            return True
+        path = self.path_for(key)
+        return path is not None and path.exists()
+
+    # -- disk layer -------------------------------------------------
+
+    def _load_disk(self, key: str) -> bytes | None:
+        path = self.path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            raw = path.read_bytes()
+            header, payload = raw.split(b"\n", 1)
+        except (OSError, ValueError):
+            self._drop_corrupt(key)
+            return None
+        if not header.startswith(_MAGIC) or header[len(_MAGIC):] != _digest(payload):
+            self._drop_corrupt(key)
+            return None
+        return payload
+
+    def _write_atomic(self, path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".tmp.")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(_MAGIC + _digest(payload) + b"\n")
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _drop_corrupt(self, key: str) -> None:
+        self.counters.counter("outcome_cache.corrupt").inc()
+        self._memory.pop(key, None)
+        path = self.path_for(key)
+        if path is not None:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- introspection ----------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """``{"hits": h, "misses": m, "corrupt": c}`` so far."""
+        snap = self.counters.snapshot()
+        return {
+            "hits": int(snap.get("outcome_cache.hits", 0)),
+            "misses": int(snap.get("outcome_cache.misses", 0)),
+            "corrupt": int(snap.get("outcome_cache.corrupt", 0)),
+        }
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk files stay)."""
+        self._memory.clear()

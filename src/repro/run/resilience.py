@@ -1,0 +1,343 @@
+"""Resilient grid execution primitives: retry policy, failure records,
+journaled resume.
+
+:mod:`repro.faults` made the *simulated* fabric survive faults; this
+module makes the *execution layer* survive them.  The supervised
+executor (:func:`repro.run.executor.execute_grid`) uses these pieces to
+turn a crashed, hung, or flaky worker process into data instead of an
+aborted sweep:
+
+* :class:`RetryPolicy` -- per-cell wall-clock timeout plus retry with
+  exponential backoff and deterministic jitter, escalating to
+  *quarantine* after the attempt budget is spent;
+* :class:`CellFailure` -- the degraded-cell record (exception type,
+  attempts, duration, worker pid) a ``strict=False`` grid returns in
+  place of a :class:`~repro.run.context.RunOutcome`, mirroring the
+  ``DegradedRunError`` philosophy one layer up;
+* :class:`GridOutcome` -- the full ``RunOutcome | CellFailure`` cell
+  vector with retry/quarantine/outcome-cache accounting;
+* :class:`GridJournal` -- an append-only JSONL log of cell
+  start/finish/fail/quarantine events.  Together with the
+  content-addressed :class:`~repro.run.outcomes.OutcomeStore` it makes
+  grids resumable: an interrupted invocation re-runs only unfinished or
+  quarantined cells and produces results byte-identical to an
+  uninterrupted run.
+
+Everything here is executor-side (parent process) and deterministic:
+backoff jitter is seeded on ``(cell key, attempt)``, journals record
+the grid's content key so a resume against a different grid fails
+loudly, and accounting fields never participate in outcome equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .spec import RunSpec
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervised executor treats a misbehaving grid cell.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per cell (first run included) before the cell is
+        quarantined.  ``1`` disables retry.
+    timeout_s:
+        Per-attempt wall-clock budget.  In parallel mode an attempt
+        exceeding it is treated as a hung worker: the pool is killed
+        and replaced, the cell charged a failed attempt.  ``None``
+        disables timeouts.  In-process (``jobs=1``) execution cannot
+        preempt a hung cell, so timeouts require worker processes.
+    backoff_base_s, backoff_factor, backoff_max_s:
+        Exponential backoff between a cell's attempts:
+        ``base * factor**(attempt-1)`` capped at ``backoff_max_s``.
+    jitter:
+        Fractional jitter added to each backoff, drawn from a PRNG
+        seeded on ``(cell key, attempt)`` so schedules are reproducible.
+    """
+
+    max_attempts: int = 3
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive: {self.timeout_s}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0: {self.jitter}")
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based) of cell ``key``.
+
+        Deterministic: equal ``(key, attempt)`` pairs always produce
+        the same delay, so retry schedules are reproducible run to run.
+        """
+        base = min(
+            self.backoff_base_s * self.backoff_factor ** max(attempt - 1, 0),
+            self.backoff_max_s,
+        )
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * random.Random(f"{key}:{attempt}").random())
+
+
+@dataclass
+class CellFailure:
+    """One grid cell that exhausted its retry budget.
+
+    The executor-level analogue of
+    :class:`~repro.faults.errors.DegradedRunError`: instead of aborting
+    the grid, a ``strict=False`` run reports the failed cell as data.
+
+    ``kind`` is the *last* failure mode observed: ``"error"`` (the
+    worker raised), ``"crash"`` (the worker process died), or
+    ``"timeout"`` (the attempt exceeded the policy's wall-clock budget
+    and the worker was killed).
+    """
+
+    spec: RunSpec
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+    duration_s: float
+    kind: str = "error"
+    worker_pid: int | None = None
+    quarantined: bool = True
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "key": self.spec.key(),
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "duration_s": round(self.duration_s, 6),
+            "worker_pid": self.worker_pid,
+            "quarantined": self.quarantined,
+        }
+
+
+class GridExecutionError(RuntimeError):
+    """A strict grid had cells that failed past their retry budget.
+
+    Carries the full :class:`GridOutcome` so callers can still inspect
+    the surviving cells and the failure accounting.
+    """
+
+    def __init__(self, grid: "GridOutcome") -> None:
+        self.grid = grid
+        failures = grid.failures()
+        detail = "; ".join(
+            f"cell {f.index} ({f.spec.workload}/{f.spec.paradigm}): "
+            f"{f.kind} {f.error_type} after {f.attempts} attempt(s)"
+            for f in failures[:3]
+        )
+        more = f" (+{len(failures) - 3} more)" if len(failures) > 3 else ""
+        super().__init__(
+            f"{len(failures)} of {len(grid.cells)} grid cell(s) failed: "
+            f"{detail}{more}"
+        )
+
+
+@dataclass
+class GridOutcome:
+    """Everything a supervised grid produced, in input order.
+
+    ``cells[i]`` is the :class:`~repro.run.context.RunOutcome` for
+    ``specs[i]``, or a :class:`CellFailure` when the cell exhausted its
+    retry budget under ``strict=False``.
+    """
+
+    cells: list = field(default_factory=list)
+    #: Executor accounting: ``retried`` / ``quarantined`` / ``timeouts``
+    #: / ``crashes`` / ``errors`` charged-event counts, ``pool_breaks``
+    #: (worker-pool deaths observed, charged or not) and total
+    #: ``attempts``.
+    retry_stats: dict = field(default_factory=dict)
+    #: ``{"hits": h, "misses": m, "corrupt": c}`` outcome-store traffic
+    #: for this grid (all zeros when no store was attached).
+    outcome_cache: dict = field(default_factory=dict)
+    #: The journal file backing this grid, when journaling was on.
+    journal_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed (no failures)."""
+        return not self.failures()
+
+    def outcomes(self) -> list:
+        """The completed cells, input order preserved."""
+        return [c for c in self.cells if not isinstance(c, CellFailure)]
+
+    def failures(self) -> list[CellFailure]:
+        """The failed cells, input order preserved."""
+        return [c for c in self.cells if isinstance(c, CellFailure)]
+
+    def quarantined(self) -> list[CellFailure]:
+        """Failed cells that exhausted their retry budget."""
+        return [f for f in self.failures() if f.quarantined]
+
+
+def grid_key(specs: Sequence[RunSpec]) -> str:
+    """Content hash of a grid: the ordered cell keys.
+
+    Journals are stamped with it so ``--resume`` against a *different*
+    grid is rejected instead of silently mismatching cell indices.
+    """
+    h = hashlib.sha256()
+    for spec in specs:
+        h.update(spec.key().encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()[:24]
+
+
+class GridJournal:
+    """Append-only JSONL log of grid-cell lifecycle events.
+
+    One line per event::
+
+        {"e": "grid", "key": <grid key>, "cells": N}      (header)
+        {"e": "start", "i": 3, "key": ..., "attempt": 1}
+        {"e": "finish", "i": 3, "key": ...}
+        {"e": "cached", "i": 4, "key": ...}               (store hit)
+        {"e": "fail", "i": 5, "key": ..., "attempt": 1, "kind": "crash",
+         "error": "BrokenProcessPool", ...}
+        {"e": "quarantine", "i": 5, "key": ..., "attempts": 3}
+
+    ``finish``/``cached`` events mark a cell *done*; a resumed grid
+    re-runs everything else (including quarantined cells -- quarantine
+    is an invitation to retry later, not a permanent verdict).  Events
+    are flushed line-by-line so a killed process loses at most the
+    event being written; a torn trailing line is ignored on load.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        specs: Sequence[RunSpec],
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.key = grid_key(specs)
+        self._done: dict[int, str] = {}
+        existing = self._load(self.path) if resume else []
+        if resume and existing:
+            header = existing[0]
+            if header.get("e") != "grid" or header.get("key") != self.key:
+                raise ValueError(
+                    f"journal {self.path} records grid "
+                    f"{header.get('key')!r}, not this grid ({self.key}): "
+                    f"refusing to resume against a different spec grid"
+                )
+            if header.get("cells") != len(specs):
+                raise ValueError(
+                    f"journal {self.path} records {header.get('cells')} "
+                    f"cells, grid has {len(specs)}"
+                )
+            for ev in existing[1:]:
+                if ev.get("e") in ("finish", "cached"):
+                    self._done[int(ev["i"])] = ev["key"]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if resume and existing else "w"
+        self._fh = open(self.path, mode, encoding="utf-8")
+        if mode == "w":
+            self._event({"e": "grid", "key": self.key, "cells": len(specs)})
+        else:
+            self._event({"e": "resume", "done": len(self._done)})
+
+    @staticmethod
+    def _load(path: Path) -> list[dict]:
+        if not path.exists():
+            return []
+        events = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # torn trailing write from a killed process
+        return events
+
+    # -- the resume contract ----------------------------------------
+
+    def finished(self, index: int, spec: RunSpec) -> bool:
+        """Whether a prior invocation completed this cell."""
+        return self._done.get(index) == spec.key()
+
+    # -- event recording --------------------------------------------
+
+    def _event(self, obj: dict) -> None:
+        self._fh.write(json.dumps(obj, separators=(",", ":")))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def record_start(self, index: int, spec: RunSpec, attempt: int) -> None:
+        self._event(
+            {"e": "start", "i": index, "key": spec.key(), "attempt": attempt}
+        )
+
+    def record_finish(self, index: int, spec: RunSpec) -> None:
+        self._done[index] = spec.key()
+        self._event({"e": "finish", "i": index, "key": spec.key()})
+
+    def record_cached(self, index: int, spec: RunSpec) -> None:
+        self._done[index] = spec.key()
+        self._event({"e": "cached", "i": index, "key": spec.key()})
+
+    def record_fail(
+        self,
+        index: int,
+        spec: RunSpec,
+        attempt: int,
+        kind: str,
+        error_type: str,
+        message: str,
+    ) -> None:
+        self._event(
+            {
+                "e": "fail",
+                "i": index,
+                "key": spec.key(),
+                "attempt": attempt,
+                "kind": kind,
+                "error": error_type,
+                "message": message[:200],
+            }
+        )
+
+    def record_quarantine(self, index: int, spec: RunSpec, attempts: int) -> None:
+        self._event(
+            {"e": "quarantine", "i": index, "key": spec.key(), "attempts": attempts}
+        )
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - close failures are benign
+            pass
+
+    def __enter__(self) -> "GridJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -203,12 +203,16 @@ def compare_paradigms(
     config: ExperimentConfig | None = None,
     jobs: int = 1,
     trace_cache=None,
+    **resilience,
 ) -> ComparisonResult:
     """Run the paper's core comparison for one workload.
 
     With ``jobs > 1`` the baseline and the paradigm replays fan out
     over worker processes (registered workloads and named paradigms
-    only); results are identical to the serial run.
+    only); results are identical to the serial run.  Extra keyword
+    arguments (``timeout``, ``retries``, ``journal``, ``resume``,
+    ``outcome_store``) forward to :func:`repro.run.execute_grid`; the
+    comparison always runs strict -- every paradigm column is needed.
     """
     from ..run import RunContext, aggregate_cache_stats, execute_grid
 
@@ -217,9 +221,12 @@ def compare_paradigms(
     spec_mode = base is not None and all(isinstance(p, str) for p in paradigms)
 
     if spec_mode:
+        resilience.pop("strict", None)
         specs = [base.single_gpu_baseline()]
         specs += [base.with_options(paradigm=p) for p in paradigms]
-        outcomes = execute_grid(specs, jobs=jobs, trace_cache=trace_cache)
+        outcomes = execute_grid(
+            specs, jobs=jobs, trace_cache=trace_cache, **resilience
+        )
         single = outcomes[0].metrics
         runs = {o.spec.paradigm: o.metrics for o in outcomes[1:]}
         return ComparisonResult(

@@ -19,6 +19,7 @@ every paradigm/configuration.  Two on-disk formats:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -207,22 +208,37 @@ def save_trace_dir(trace: WorkloadTrace, path: str | Path) -> None:
                     "slices": slices,
                 }
             )
+    checksums = {}
     for col in _COLUMNS:
         flat = (
             np.concatenate(parts[col])
             if parts[col]
             else np.empty(0, dtype=np.int64)
         )
-        np.save(path / f"{col}.npy", flat)
+        file = path / f"{col}.npy"
+        np.save(file, flat)
+        checksums[col] = hashlib.sha256(file.read_bytes()).hexdigest()
+    # Integrity record: verified on load only when asked (verify=True /
+    # $REPRO_TRACE_VERIFY through the cache) so the default zero-copy
+    # mmap path stays untouched.
+    header["checksums"] = checksums
     (path / "header.json").write_text(json.dumps(header))
 
 
-def load_trace_dir(path: str | Path, mmap: bool = True) -> WorkloadTrace:
+def load_trace_dir(
+    path: str | Path, mmap: bool = True, verify: bool = False
+) -> WorkloadTrace:
     """Read a columnar trace directory written by :func:`save_trace_dir`.
 
     With ``mmap=True`` (the default) every column is memory-mapped
     read-only: phase arrays are zero-copy slices backed by the page
     cache, shared across any number of reader processes.
+
+    With ``verify=True`` every column file is checked against the
+    SHA-256 recorded in the header before use; a mismatch raises
+    ``ValueError`` (the cache layer treats that as corruption and
+    regenerates).  Directories written before checksums existed verify
+    trivially.
     """
     path = Path(path)
     header = json.loads((path / "header.json").read_text())
@@ -231,6 +247,14 @@ def load_trace_dir(path: str | Path, mmap: bool = True) -> WorkloadTrace:
             f"unsupported trace directory format: version "
             f"{header.get('version')}, layout {header.get('layout')!r}"
         )
+    if verify:
+        for col, expected in (header.get("checksums") or {}).items():
+            actual = hashlib.sha256((path / f"{col}.npy").read_bytes()).hexdigest()
+            if actual != expected:
+                raise ValueError(
+                    f"trace column {col}.npy failed its integrity check "
+                    f"in {path}"
+                )
     mode = "r" if mmap else None
     columns = {
         col: np.load(path / f"{col}.npy", mmap_mode=mode) for col in _COLUMNS

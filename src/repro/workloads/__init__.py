@@ -36,6 +36,7 @@ from .datasets import (
 )
 from .diffusion import DiffusionWorkload
 from .eqwp import EQWPWorkload
+from .faulty import FaultyWorkload
 from .grids import StencilSpec, build_stencil_trace
 from .hit import HITWorkload
 from .jacobi import JacobiWorkload
@@ -108,6 +109,7 @@ __all__ = [
     "powerlaw_graph",
     "DiffusionWorkload",
     "EQWPWorkload",
+    "FaultyWorkload",
     "StencilSpec",
     "build_stencil_trace",
     "HITWorkload",

@@ -1,0 +1,145 @@
+"""A deliberately misbehaving workload: the resilience test fixture.
+
+The supervised executor (:func:`repro.run.executor.execute_grid`) has
+to survive worker processes that raise, die, or hang.  Reproducing
+those failure modes needs a workload the *worker* process can resolve
+-- test-module registrations only exist in the parent -- so this
+fixture is registered in the package itself, under the name
+``"faulty"``.  With default parameters it is completely benign (a tiny
+stencil run), so listing or instantiating every registered workload
+stays safe; tests and the CI crash-injection smoke opt into misbehavior
+explicitly.
+
+Failure is injected inside :meth:`FaultyWorkload.generate_trace`, i.e.
+on a trace-cache *miss* -- exactly where a real workload would OOM or
+wedge.  A crash (``os._exit``) or an exception prevents the trace from
+being cached, so a retry of the same cell re-enters the faulty path
+until its failure ``budget`` is spent.
+
+Cross-process attempt accounting uses claim files in ``token_dir``:
+each generation attempt atomically claims the next slot (``O_EXCL``
+create), and slots below ``budget`` misbehave.  That makes failures
+*transient* -- attempt ``budget + 1`` succeeds -- which is what retry
+tests need.  With no ``token_dir``, a non-zero budget misbehaves on
+*every* attempt: a permanent failure, which is what quarantine tests
+need.  ``token_dir``/``token`` participate in the spec key, so distinct
+grid cells never share a failure budget by accident.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from pathlib import Path
+
+from ..registry import workloads as _registry
+from ..trace.stream import WorkloadTrace
+from .base import MultiGPUWorkload
+from .grids import StencilSpec, build_stencil_trace
+
+#: Exit status of a ``mode="crash"`` worker (visible in CI logs).
+CRASH_EXIT_CODE = 13
+
+
+@_registry.register("faulty")
+class FaultyWorkload(MultiGPUWorkload):
+    """Tiny stencil workload that can raise, crash, or hang on demand.
+
+    Parameters
+    ----------
+    n:
+        Stencil grid edge (kept small -- the simulation is not the
+        point of this workload).
+    mode:
+        ``"ok"`` (default, benign), ``"raise"`` (raise RuntimeError),
+        ``"crash"`` (``os._exit`` -- the worker process dies without
+        cleanup, like an OOM kill), or ``"hang"`` (sleep ``hang_s``
+        before proceeding, tripping per-attempt timeouts).
+    budget:
+        How many trace-generation attempts misbehave before the
+        workload starts succeeding.  ``0`` never misbehaves.
+    token_dir, token:
+        Directory (and per-cell label) for cross-process attempt claim
+        files.  Empty ``token_dir`` with a non-zero budget means
+        *every* attempt misbehaves.
+    hang_s:
+        Sleep duration of ``mode="hang"``.
+    """
+
+    name = "faulty"
+    comm_pattern = "peer-to-peer"
+
+    def __init__(
+        self,
+        n: int = 64,
+        mode: str = "ok",
+        budget: int = 0,
+        token_dir: str = "",
+        token: str = "cell",
+        hang_s: float = 30.0,
+    ) -> None:
+        if mode not in ("ok", "raise", "crash", "hang"):
+            raise ValueError(f"unknown failure mode: {mode!r}")
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0: {budget}")
+        self.n = max(int(n), 8)
+        self.mode = mode
+        self.budget = budget
+        self.token_dir = token_dir
+        self.token = token
+        self.hang_s = hang_s
+
+    # -- attempt accounting -----------------------------------------
+
+    def _claim_attempt(self) -> int:
+        """Atomically claim the next attempt slot (0-based) across
+        processes; without a token dir every attempt is slot 0."""
+        if not self.token_dir:
+            return 0
+        root = Path(self.token_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        for slot in itertools.count():
+            try:
+                fd = os.open(
+                    root / f"attempt-{self.token}-{slot}",
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return slot
+
+    def _misbehave(self) -> None:
+        if self.mode == "ok" or self.budget == 0:
+            return
+        slot = self._claim_attempt()
+        if self.token_dir and slot >= self.budget:
+            return
+        if self.mode == "raise":
+            raise RuntimeError(
+                f"injected failure (attempt {slot + 1}/{self.budget})"
+            )
+        if self.mode == "crash":
+            # Die the way an OOM-killed or segfaulting worker dies: no
+            # exception, no cleanup, no cache write.
+            os._exit(CRASH_EXIT_CODE)
+        if self.mode == "hang":
+            time.sleep(self.hang_s)
+
+    # -- workload contract ------------------------------------------
+
+    def generate_trace(
+        self, n_gpus: int, iterations: int = 3, seed: int = 7
+    ) -> WorkloadTrace:
+        self._misbehave()
+        spec = StencilSpec(
+            name=self.name,
+            grid=(self.n, self.n),
+            elem_bytes=8,
+            halo_depth=1,
+            flops_per_point=6.0,
+            dram_bytes_per_point=16.0,
+            precision="fp64",
+        )
+        return build_stencil_trace(spec, n_gpus, iterations)

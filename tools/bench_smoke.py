@@ -1,16 +1,21 @@
 #!/usr/bin/env python
 """Smoke benchmark for the parallel sweep executor (``make bench-smoke``).
 
-Runs one small sweep grid three ways and writes ``BENCH_sweep.json``:
+Runs one small sweep grid four ways and writes ``BENCH_sweep.json``:
 
 1. serial, cold trace cache;
 2. parallel (``--jobs``), same on-disk trace cache (now warm);
-3. serial again on the warm cache, to isolate the cache's effect.
+3. serial again on the warm cache, to isolate the trace cache's effect
+   (this pass also populates an ``OutcomeStore``);
+4. serial against the warm outcome store, to isolate the store's
+   effect -- every cell is served without simulating.
 
 Asserts the serial and parallel metrics tables are identical (the
-executor's core guarantee) and that the warm-cache pass generated no
-traces (every lookup is a cache hit).  Exit status is non-zero if
-either property fails, so CI can gate on it.
+executor's core guarantee), that the warm-cache pass generated no
+traces, that the store pass simulated nothing (100% outcome-cache
+hits), and that no healthy pass retried or quarantined a cell
+(``retry_stats`` summarized per pass).  Exit status is non-zero if any
+property fails, so CI can gate on it.
 
 Usage::
 
@@ -29,7 +34,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.run import RunSpec, aggregate_cache_stats, execute_grid  # noqa: E402
+from repro.run import (  # noqa: E402
+    OutcomeStore,
+    RunSpec,
+    aggregate_cache_stats,
+    execute_grid,
+)
 
 
 def build_grid() -> list[RunSpec]:
@@ -60,14 +70,17 @@ def build_grid() -> list[RunSpec]:
     return specs
 
 
-def timed_run(specs, jobs: int, cache_dir: str) -> tuple[float, list, dict]:
+def timed_run(specs, jobs: int, cache_dir: str, store=None):
     start = time.perf_counter()
-    outcomes = execute_grid(specs, jobs=jobs, trace_cache=cache_dir)
+    grid = execute_grid(
+        specs, jobs=jobs, trace_cache=cache_dir,
+        strict=False, outcome_store=store,
+    )
     elapsed = time.perf_counter() - start
-    return elapsed, outcomes, aggregate_cache_stats(outcomes)
+    return elapsed, grid, aggregate_cache_stats(grid)
 
 
-def table(outcomes) -> list[dict]:
+def table(grid) -> list[dict]:
     return [
         {
             "workload": o.spec.workload,
@@ -75,7 +88,7 @@ def table(outcomes) -> list[dict]:
             "total_time_ns": o.metrics.total_time_ns,
             "wire_bytes": o.metrics.wire_bytes,
         }
-        for o in outcomes
+        for o in grid.outcomes()
     ]
 
 
@@ -87,13 +100,32 @@ def main(argv=None) -> int:
 
     specs = build_grid()
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        store = OutcomeStore(Path(cache) / "outcomes")
         serial_s, serial, serial_stats = timed_run(specs, 1, cache)
         parallel_s, parallel, parallel_stats = timed_run(specs, args.jobs, cache)
-        warm_s, warm, warm_stats = timed_run(specs, 1, cache)
+        warm_s, warm, warm_stats = timed_run(specs, 1, cache, store=store)
+        store.clear_memory()  # force the disk layer, like a fresh process
+        stored_s, stored, stored_stats = timed_run(specs, 1, cache, store=store)
 
-    serial_table, parallel_table, warm_table = map(table, (serial, parallel, warm))
-    identical = serial_table == parallel_table == warm_table
+    passes = {
+        "serial_cold": serial,
+        "parallel_warm_cache": parallel,
+        "serial_warm_cache": warm,
+        "serial_warm_outcomes": stored,
+    }
+    tables = {name: table(grid) for name, grid in passes.items()}
+    identical = len({json.dumps(t) for t in tables.values()}) == 1
     warm_skipped_generation = warm_stats["misses"] == 0
+    store_served_all = (
+        stored.outcome_cache.get("hits", 0) == len(specs)
+        and stored.retry_stats.get("attempts", 0) == 0
+    )
+    grids_healthy = all(
+        grid.ok
+        and grid.retry_stats.get("retried", 0) == 0
+        and grid.retry_stats.get("quarantined", 0) == 0
+        for grid in passes.values()
+    )
 
     report = {
         "grid": [s.canonical() for s in specs],
@@ -103,15 +135,21 @@ def main(argv=None) -> int:
             "serial_cold": round(serial_s, 4),
             "parallel_warm_cache": round(parallel_s, 4),
             "serial_warm_cache": round(warm_s, 4),
+            "serial_warm_outcomes": round(stored_s, 4),
         },
         "cache_stats": {
             "serial_cold": serial_stats,
             "parallel_warm_cache": parallel_stats,
             "serial_warm_cache": warm_stats,
+            "serial_warm_outcomes": stored_stats,
         },
-        "metrics_table": serial_table,
+        "retry_stats": {name: grid.retry_stats for name, grid in passes.items()},
+        "outcome_cache": stored.outcome_cache,
+        "metrics_table": tables["serial_cold"],
         "serial_parallel_identical": identical,
         "warm_cache_skipped_generation": warm_skipped_generation,
+        "outcome_store_served_all": store_served_all,
+        "grids_healthy": grids_healthy,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
 
@@ -119,7 +157,8 @@ def main(argv=None) -> int:
     print(
         f"serial(cold) {serial_s:.2f}s  "
         f"jobs={args.jobs}(warm) {parallel_s:.2f}s  "
-        f"serial(warm) {warm_s:.2f}s"
+        f"serial(warm) {warm_s:.2f}s  "
+        f"outcomes(warm) {stored_s:.2f}s"
     )
     print(f"serial == parallel tables: {identical}")
     print(
@@ -127,11 +166,29 @@ def main(argv=None) -> int:
         f"{warm_stats['misses']} misses (generation skipped: "
         f"{warm_skipped_generation})"
     )
+    print(
+        f"outcome store: {stored.outcome_cache.get('hits', 0)}/{len(specs)} "
+        f"served, {stored.retry_stats.get('attempts', 0)} simulated"
+    )
+    print(
+        "retry_stats: "
+        + "  ".join(
+            f"{name}: {grid.retry_stats.get('retried', 0)} retried, "
+            f"{grid.retry_stats.get('quarantined', 0)} quarantined"
+            for name, grid in passes.items()
+        )
+    )
     if not identical:
         print("FAIL: parallel metrics diverge from serial", file=sys.stderr)
         return 1
     if not warm_skipped_generation:
         print("FAIL: warm cache still generated traces", file=sys.stderr)
+        return 1
+    if not store_served_all:
+        print("FAIL: warm outcome store still simulated cells", file=sys.stderr)
+        return 1
+    if not grids_healthy:
+        print("FAIL: a healthy grid retried or quarantined cells", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Crash-injection smoke test for the supervised executor (CI gate).
+
+Runs a small grid whose workers deliberately misbehave -- one cell
+crashes its worker process (``os._exit``), one hangs past the per-cell
+timeout, one fails until its third retry -- and asserts the resilience
+contract end to end:
+
+1. the grid *completes* in ``strict=False`` mode despite the carnage,
+   with accurate ``CellFailure`` accounting for the cell that exhausts
+   its retry budget;
+2. retries/timeouts/pool breaks are counted in ``retry_stats``;
+3. a second invocation with ``resume=True`` against the same journal +
+   outcome store replays every finished cell from the store (zero
+   re-simulation) and finishes the quarantined cell, whose injected
+   fault has "cleared" by then (attempt slots are persisted on disk);
+4. resumed outcomes equal the originals.
+
+Exit status is non-zero on any violation, so CI can gate on it.
+
+Usage::
+
+    python tools/crash_smoke.py [--timeout 4.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.run import RunSpec, execute_grid  # noqa: E402
+
+
+def faulty(mode: str, budget: int, token_dir: str, token: str, **kw) -> RunSpec:
+    params = {
+        "n": 16,
+        "mode": mode,
+        "budget": budget,
+        "token_dir": token_dir,
+        "token": token,
+        **kw,
+    }
+    return RunSpec(
+        workload="faulty",
+        paradigm="p2p",
+        n_gpus=2,
+        iterations=1,
+        workload_params=params,
+    )
+
+
+def check(ok: bool, label: str, failures: list) -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if not ok:
+        failures.append(label)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=4.0)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-crash-smoke-") as tmp:
+        tokens = str(Path(tmp) / "tokens")
+        cache = str(Path(tmp) / "cache")
+        # The crash cell goes first so the pool break lands while only
+        # it and the healthy cell are in flight -- the hang cell's
+        # fault slot must be consumed by an actual timeout, not by the
+        # crash's collateral pool kill.
+        specs = [
+            faulty("crash", 1, tokens, "crash"),
+            RunSpec(workload="jacobi", workload_params={"n": 64},
+                    paradigm="p2p", n_gpus=2, iterations=1),
+            faulty("hang", 1, tokens, "hang", hang_s=60.0),
+            # Fails attempts 1..3; attempt 4 succeeds -- but the first
+            # invocation only gets 2 attempts, so this cell quarantines
+            # and is finished by the resumed invocation.
+            faulty("raise", 3, tokens, "flaky"),
+        ]
+
+        print("pass 1: crash + hang + flaky grid, strict=False")
+        t0 = time.perf_counter()
+        grid = execute_grid(
+            specs, jobs=2, trace_cache=cache,
+            strict=False, timeout=args.timeout, retries=1,
+            journal=cache,
+        )
+        elapsed = time.perf_counter() - t0
+        stats = grid.retry_stats
+        print(f"  completed in {elapsed:.1f}s: retry_stats={stats} "
+              f"failures={[f.as_dict() for f in grid.failures()]}")
+
+        check(len(grid.cells) == len(specs), "grid drained every cell", failures)
+        check(len(grid.outcomes()) == 3, "3 cells recovered", failures)
+        check(len(grid.failures()) == 1, "1 cell quarantined", failures)
+        if grid.failures():
+            f = grid.failures()[0]
+            check(f.quarantined and f.attempts == 2 and f.kind == "error",
+                  "CellFailure accounting (error, 2 attempts)", failures)
+        check(stats["pool_breaks"] >= 1, "worker crash observed", failures)
+        check(stats["timeouts"] >= 1, "hung worker timed out", failures)
+        check(stats["retried"] >= 2, "retries counted", failures)
+        check(stats["quarantined"] == 1, "quarantine counted", failures)
+
+        print("pass 2: resume from journal + outcome store")
+        resumed = execute_grid(
+            specs, jobs=2, trace_cache=cache,
+            strict=False, timeout=args.timeout, retries=1,
+            journal=cache, resume=True,
+        )
+        print(f"  retry_stats={resumed.retry_stats} "
+              f"outcome_cache={resumed.outcome_cache}")
+
+        check(resumed.ok, "resume finished the grid", failures)
+        check(resumed.outcome_cache.get("hits", 0) >= 3,
+              "finished cells replayed from outcome store", failures)
+        check(all(resumed.cells[i].cached for i in range(3)),
+              "replayed cells marked cached", failures)
+        flaky_cell = resumed.cells[3]
+        check(getattr(flaky_cell, "cached", None) is False
+              and flaky_cell.attempts == 2,
+              "quarantined cell re-ran on resume", failures)
+        check(
+            all(resumed.cells[i].metrics == grid.cells[i].metrics
+                for i in range(3)),
+            "resumed outcomes equal originals", failures,
+        )
+
+    if failures:
+        print(f"FAIL: {len(failures)} check(s) failed: {failures}",
+              file=sys.stderr)
+        return 1
+    print("crash smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
