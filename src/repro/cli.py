@@ -57,6 +57,7 @@ write queues at barriers) as they go.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -178,6 +179,22 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         help="directory for the content-addressed workload-trace cache "
         "(shared across processes and invocations; default: "
         "$REPRO_TRACE_CACHE if set, else in-memory only)",
+    )
+    p.add_argument(
+        "--no-trace-stream",
+        action="store_true",
+        help="materialize whole traces before writing cache entries "
+        "instead of streaming column chunks to disk as they are "
+        "generated (entries are byte-identical either way; streaming "
+        "just bounds peak memory)",
+    )
+    p.add_argument(
+        "--trace-chunk-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="store-ops per streamed trace chunk (default "
+        "$REPRO_TRACE_CHUNK_OPS or 262144)",
     )
     p.add_argument(
         "--timeout",
@@ -886,8 +903,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_stream_flags(args: argparse.Namespace) -> None:
+    """Propagate streaming toggles through the environment.
+
+    :class:`~repro.run.cache.TraceCache` reads its streaming defaults
+    from the environment at construction, and grid worker processes
+    inherit it -- one mechanism covers the in-process cache and every
+    ``--jobs N`` worker.
+    """
+    from .run.cache import CHUNK_OPS_ENV, STREAM_ENV
+
+    if getattr(args, "no_trace_stream", False):
+        os.environ[STREAM_ENV] = "0"
+    chunk_ops = getattr(args, "trace_chunk_ops", None)
+    if chunk_ops is not None:
+        if chunk_ops <= 0:
+            raise SystemExit(
+                f"--trace-chunk-ops must be positive, got {chunk_ops}"
+            )
+        os.environ[CHUNK_OPS_ENV] = str(chunk_ops)
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_stream_flags(args)
     return args.fn(args, out if out is not None else sys.stdout)
 
 

@@ -541,10 +541,13 @@ class FinePackEgress:
         ):
             return None
         digest = hashlib.blake2b(digest_size=16)
-        digest.update(np.ascontiguousarray(addrs, dtype=np.int64).tobytes())
-        digest.update(np.ascontiguousarray(sizes, dtype=np.int64).tobytes())
-        digest.update(np.ascontiguousarray(dsts, dtype=np.int64).tobytes())
-        digest.update(np.ascontiguousarray(is_atomic, dtype=bool).tobytes())
+        # hashlib consumes buffer-protocol objects directly, so feeding
+        # the (C-contiguous) columns avoids a tobytes() copy per array
+        # -- and never faults mmap-backed pages twice.
+        digest.update(np.ascontiguousarray(addrs, dtype=np.int64))
+        digest.update(np.ascontiguousarray(sizes, dtype=np.int64))
+        digest.update(np.ascontiguousarray(dsts, dtype=np.int64))
+        digest.update(np.ascontiguousarray(is_atomic, dtype=bool))
         key = digest.digest()
         template = self._memo.get(key)
         if template is None:

@@ -17,7 +17,9 @@ wire-cost accounting are the same arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..interconnect.pcie import DW_BYTES, PCIeProtocol
 from .config import LENGTH_FIELD_BITS, FinePackConfig
@@ -76,7 +78,6 @@ class SubTransaction:
         return config.subheader_bytes + self.length
 
 
-@dataclass
 class FinePackPacket:
     """An outer FinePack transaction embedded in a PCIe TLP.
 
@@ -90,20 +91,68 @@ class FinePackPacket:
     stores_absorbed:
         Program-level stores merged into this packet, including
         same-address overwrites (the Figure 11 statistic).
+
+    The packet holds its sub-transactions in one of two forms: the
+    ``subs`` object list, or (from the vectorized packetizer path) a
+    pair of ``(offset, length)`` int64 columns.  Either form derives
+    the other on demand -- timing-only replays never materialize the
+    per-sub objects, which is the bulk path's hot-loop saving.
     """
 
-    base_addr: int
-    subs: list[SubTransaction] = field(default_factory=list)
-    stores_absorbed: int = 0
+    __slots__ = ("base_addr", "stores_absorbed", "_subs", "_columns")
+
+    def __init__(
+        self,
+        base_addr: int,
+        subs: list[SubTransaction] | None = None,
+        stores_absorbed: int = 0,
+        columns: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        self.base_addr = base_addr
+        self.stores_absorbed = stores_absorbed
+        if subs is None and columns is None:
+            subs = []
+        self._subs = subs
+        self._columns = columns
+
+    @property
+    def subs(self) -> list[SubTransaction]:
+        if self._subs is None:
+            offsets, lengths = self._columns
+            self._subs = [
+                SubTransaction(offset=o, length=n)
+                for o, n in zip(offsets.tolist(), lengths.tolist())
+            ]
+        return self._subs
+
+    def sub_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(offset, length)`` columns (data bytes, if any, stay
+        on :attr:`subs`)."""
+        if self._columns is None:
+            self._columns = (
+                np.asarray([s.offset for s in self._subs], dtype=np.int64),
+                np.asarray([s.length for s in self._subs], dtype=np.int64),
+            )
+        return self._columns
+
+    @property
+    def n_subs(self) -> int:
+        return (
+            len(self._subs)
+            if self._subs is not None
+            else int(self._columns[0].size)
+        )
 
     @property
     def payload_data_bytes(self) -> int:
         """Actual store bytes carried (excludes sub-headers)."""
-        return sum(s.length for s in self.subs)
+        if self._subs is None:
+            return int(self._columns[1].sum())
+        return sum(s.length for s in self._subs)
 
     def inner_payload_bytes(self, config: FinePackConfig) -> int:
         """Total outer-TLP payload: sub-headers plus data."""
-        return sum(s.wire_bytes(config) for s in self.subs)
+        return self.n_subs * config.subheader_bytes + self.payload_data_bytes
 
     def wire_cost(
         self, config: FinePackConfig, protocol: PCIeProtocol

@@ -34,7 +34,6 @@ class Packetizer:
     def packetize(self, window: FlushedWindow) -> FinePackPacket:
         """Turn one flushed window into a FinePack packet."""
         cfg = self.config
-        subs: list[SubTransaction] = []
         if self._fast and all(e.data is None for e in window.entries):
             rows, starts, lengths = masks_to_runs(
                 [e.mask for e in window.entries], cfg.entry_bytes
@@ -43,20 +42,25 @@ class Packetizer:
                 [e.line_addr for e in window.entries], dtype=np.int64
             )
             offsets = line_addrs[rows] + starts - window.base_addr
-            subs = [
-                SubTransaction(offset=o, length=ln)
-                for o, ln in zip(offsets.tolist(), lengths.tolist())
-            ]
-        else:
-            for entry in window.entries:
-                for start, length in entry.runs(cfg.entry_bytes):
-                    offset = entry.line_addr + start - window.base_addr
-                    data = None
-                    if entry.data is not None:
-                        data = bytes(entry.data[start : start + length])
-                    subs.append(
-                        SubTransaction(offset=offset, length=length, data=data)
-                    )
+            self.packets_built += 1
+            # Column-native packet: downstream accounting consumes the
+            # (offset, length) arrays; SubTransaction objects are only
+            # materialized if something asks for them.
+            return FinePackPacket(
+                base_addr=window.base_addr,
+                columns=(offsets, lengths),
+                stores_absorbed=window.stores_absorbed,
+            )
+        subs: list[SubTransaction] = []
+        for entry in window.entries:
+            for start, length in entry.runs(cfg.entry_bytes):
+                offset = entry.line_addr + start - window.base_addr
+                data = None
+                if entry.data is not None:
+                    data = bytes(entry.data[start : start + length])
+                subs.append(
+                    SubTransaction(offset=offset, length=length, data=data)
+                )
         self.packets_built += 1
         return FinePackPacket(
             base_addr=window.base_addr,
@@ -73,10 +77,8 @@ class Packetizer:
         ranges delivered, for the useful/wasted byte ledger.
         """
         payload, overhead = packet.wire_cost(self.config, self.protocol)
-        starts = np.asarray(
-            [packet.base_addr + s.offset for s in packet.subs], dtype=np.int64
-        )
-        lengths = np.asarray([s.length for s in packet.subs], dtype=np.int64)
+        offsets, lengths = packet.sub_columns()
+        starts = packet.base_addr + offsets
         return WireMessage(
             src=src,
             dst=dst,

@@ -38,8 +38,14 @@ from pathlib import Path
 
 from ..obs.counters import CounterRegistry
 from ..perf import profiler as _prof
+from ..trace.columns import DEFAULT_CHUNK_OPS
 from ..trace.stream import WorkloadTrace
-from ..trace.tracefile import load_trace, load_trace_dir, save_trace_dir
+from ..trace.tracefile import (
+    TraceDirWriter,
+    load_trace,
+    load_trace_dir,
+    save_trace_dir,
+)
 
 #: Environment variable naming a persistent default cache directory.
 CACHE_ENV = "REPRO_TRACE_CACHE"
@@ -50,6 +56,27 @@ CACHE_ENV = "REPRO_TRACE_CACHE"
 #: against torn writes -- verification is for long-lived shared caches
 #: on storage you do not fully trust.
 VERIFY_ENV = "REPRO_TRACE_VERIFY"
+
+#: Set to ``0``/``false``/``off`` to disable streamed (spill-while-
+#: generating) disk writes and fall back to materializing whole traces
+#: before persisting them.  Streaming is the default: the streamed and
+#: whole-trace entries are byte-identical, streaming just caps peak
+#: memory at one column chunk.
+STREAM_ENV = "REPRO_TRACE_STREAM"
+
+#: Override the streaming chunk size (store-ops per spilled block).
+CHUNK_OPS_ENV = "REPRO_TRACE_CHUNK_OPS"
+
+_FALSE_WORDS = frozenset({"0", "false", "off", "no"})
+
+
+def _stream_default() -> bool:
+    return os.environ.get(STREAM_ENV, "").strip().lower() not in _FALSE_WORDS
+
+
+def _chunk_ops_default() -> int:
+    raw = os.environ.get(CHUNK_OPS_ENV, "").strip()
+    return int(raw) if raw else DEFAULT_CHUNK_OPS
 
 
 class TraceCache:
@@ -62,6 +89,15 @@ class TraceCache:
     ``verify=True`` (or ``$REPRO_TRACE_VERIFY``) checks columnar
     entries against their recorded checksums on load; mismatches count
     as corrupt and regenerate.
+
+    ``stream`` controls spill-while-generating: with a disk root, cache
+    misses stream the workload's column chunks straight into the entry
+    directory and hand back the memory-mapped result, so peak memory is
+    one chunk (``chunk_ops`` store-ops, ``$REPRO_TRACE_CHUNK_OPS``)
+    instead of the whole trace.  On by default (``stream=None`` reads
+    ``$REPRO_TRACE_STREAM``); the resulting entry is byte-identical to
+    a whole-trace write either way.  Memory-only caches have nowhere to
+    spill and always materialize.
     """
 
     def __init__(
@@ -69,11 +105,17 @@ class TraceCache:
         root: str | Path | None = None,
         mmap: bool = True,
         verify: bool | None = None,
+        stream: bool | None = None,
+        chunk_ops: int | None = None,
     ) -> None:
         self.root = Path(root).expanduser() if root is not None else None
         self.mmap = mmap
         self.verify = (
             bool(os.environ.get(VERIFY_ENV)) if verify is None else verify
+        )
+        self.stream = _stream_default() if stream is None else stream
+        self.chunk_ops = (
+            _chunk_ops_default() if chunk_ops is None else int(chunk_ops)
         )
         self._memory: dict[str, WorkloadTrace] = {}
         self.counters = CounterRegistry()
@@ -121,18 +163,25 @@ class TraceCache:
         self.counters.counter("trace_cache.misses").inc()
         if workload is None:
             workload = spec.build_workload()
+        path = self.path_for(key)
         prof = _prof.ACTIVE
         if prof is not None:
             prof.begin("trace_generation")
-        trace = workload.generate_trace(
-            n_gpus=spec.n_gpus, iterations=spec.iterations, seed=spec.seed
-        )
-        if prof is not None:
-            prof.end()
+        try:
+            if path is not None and self.stream:
+                trace = self._generate_streamed(path, workload, spec)
+            else:
+                trace = workload.generate_trace(
+                    n_gpus=spec.n_gpus,
+                    iterations=spec.iterations,
+                    seed=spec.seed,
+                )
+                if path is not None:
+                    self._write_atomic(path, trace)
+        finally:
+            if prof is not None:
+                prof.end()
         self._memory[key] = trace
-        path = self.path_for(key)
-        if path is not None:
-            self._write_atomic(path, trace)
         return trace
 
     def _load_disk(self, key: str) -> WorkloadTrace | None:
@@ -156,6 +205,46 @@ class TraceCache:
                 except OSError:
                     pass
         return None
+
+    def _generate_streamed(self, path: Path, workload, spec) -> WorkloadTrace:
+        """Generate ``spec``'s trace, spilling chunks to disk as produced.
+
+        The workload's :meth:`iter_columns` stream is appended block by
+        block to a temp :class:`TraceDirWriter` and published with the
+        same atomic ``os.replace`` as whole-trace writes; the caller
+        gets the (memory-mapped by default) disk entry back.  Nothing
+        ever holds more than one column chunk, so generating a trace
+        ~100x larger than RAM works in constant memory.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = tempfile.mkdtemp(dir=path.parent, prefix=path.name + ".tmp.")
+        try:
+            with TraceDirWriter(
+                tmp, name=workload.name, n_gpus=spec.n_gpus
+            ) as writer:
+                gen = workload.iter_columns(
+                    n_gpus=spec.n_gpus,
+                    iterations=spec.iterations,
+                    seed=spec.seed,
+                    chunk_ops=self.chunk_ops,
+                )
+                while True:
+                    try:
+                        block = next(gen)
+                    except StopIteration as stop:
+                        metadata = dict(stop.value or {})
+                        break
+                    writer.add_block(block)
+                writer.finalize(metadata)
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                # Lost the publish race; the winner's entry is
+                # byte-identical (same spec, same writer path).
+                pass
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        return load_trace_dir(path, mmap=self.mmap, verify=self.verify)
 
     def _write_atomic(self, path: Path, trace: WorkloadTrace) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,256 @@
+"""Chunked column blocks: the streaming form of a workload trace.
+
+A :class:`~repro.trace.stream.WorkloadTrace` is phase-oriented; its
+native *storage* (both in the columnar trace directories and inside
+every vectorized consumer) is struct-of-arrays.  This module is the
+bridge between the two for **generation**: workloads emit their phases
+into a :class:`ColumnBlockBuilder`, which packs them into bounded-size
+:class:`ColumnBlock` chunks -- one flat int64 array per column plus a
+phase index recording each phase's slice.  Blocks can be spilled to
+disk as they are produced (see :class:`repro.trace.tracefile.TraceDirWriter`),
+so a trace far larger than RAM is generated in constant memory, or
+assembled back into a :class:`WorkloadTrace` whose phases are zero-copy
+views over the block columns.
+
+The column schema (:data:`COLUMNS`) is shared verbatim with the trace
+serialization layer: addrs/sizes/dsts for stores, aaddrs/asizes/adsts
+for atomics, rstarts/rends for the consumer read intervals.  A phase is
+never split across blocks -- a phase larger than ``chunk_ops`` simply
+gets a block of its own -- so chunking can never change replay
+semantics, only memory shape (property-tested byte-identical across
+chunk sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.compute import KernelWork
+from .intervals import IntervalSet
+from .stream import (
+    DMATransfer,
+    IterationTrace,
+    KernelPhase,
+    RemoteStoreBatch,
+    WorkloadTrace,
+)
+
+#: Per-phase int64 columns, in canonical (file) order.  The same table
+#: drives the ``.npz`` archive keys, the columnar-directory file names
+#: and the in-memory block layout -- one schema, every layer.
+COLUMNS = (
+    "addrs",
+    "sizes",
+    "dsts",
+    "aaddrs",
+    "asizes",
+    "adsts",
+    "rstarts",
+    "rends",
+)
+
+#: Default block-size target: total column elements buffered before a
+#: block is flushed (~2 MiB of int64 per column stream at 262144).
+DEFAULT_CHUNK_OPS = 262_144
+
+
+def phase_columns(phase: KernelPhase) -> dict[str, np.ndarray]:
+    """The eight schema columns of one phase, by name."""
+    return {
+        "addrs": phase.stores.addrs,
+        "sizes": phase.stores.sizes,
+        "dsts": phase.stores.dsts,
+        "aaddrs": phase.atomics.addrs,
+        "asizes": phase.atomics.sizes,
+        "adsts": phase.atomics.dsts,
+        "rstarts": phase.reads.starts,
+        "rends": phase.reads.ends,
+    }
+
+
+def phase_from_columns(
+    gpu: int,
+    work: KernelWork,
+    dma: list[DMATransfer],
+    columns: dict[str, np.ndarray],
+) -> KernelPhase:
+    """A :class:`KernelPhase` whose arrays are *views* of ``columns``.
+
+    The columns are trusted (already validated at generation or write
+    time), so no dtype conversion, copy, or page-touching scan happens
+    here -- the loader stays zero-copy over memory-mapped files.
+    """
+    return KernelPhase(
+        gpu=gpu,
+        work=work,
+        stores=RemoteStoreBatch.trusted(
+            columns["addrs"], columns["sizes"], columns["dsts"]
+        ),
+        atomics=RemoteStoreBatch.trusted(
+            columns["aaddrs"], columns["asizes"], columns["adsts"]
+        ),
+        reads=IntervalSet(columns["rstarts"], columns["rends"]),
+        dma=dma,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseHeader:
+    """Index entry locating one phase inside a :class:`ColumnBlock`."""
+
+    iteration: int
+    gpu: int
+    work: KernelWork
+    dma: tuple[DMATransfer, ...]
+    #: ``col -> (start, stop)`` slice into the block's columns.
+    slices: dict[str, tuple[int, int]]
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnBlock:
+    """A bounded run of whole phases in struct-of-arrays form."""
+
+    phases: tuple[PhaseHeader, ...]
+    columns: dict[str, np.ndarray]
+
+    @property
+    def n_ops(self) -> int:
+        """Total column elements held (the chunking measure)."""
+        return sum(int(c.size) for c in self.columns.values())
+
+    def phase_view(self, header: PhaseHeader) -> KernelPhase:
+        """The zero-copy :class:`KernelPhase` for one index entry."""
+        cols = {
+            col: self.columns[col][header.slices[col][0] : header.slices[col][1]]
+            for col in COLUMNS
+        }
+        return phase_from_columns(
+            header.gpu, header.work, list(header.dma), cols
+        )
+
+    def kernel_phases(self):
+        """Yield ``(iteration, KernelPhase)`` views in emission order."""
+        for header in self.phases:
+            yield header.iteration, self.phase_view(header)
+
+
+class ColumnBlockBuilder:
+    """Packs emitted phases into bounded :class:`ColumnBlock` chunks.
+
+    ``add`` returns a flushed block whenever the buffered column
+    elements reach ``chunk_ops`` (a phase never splits, so a single
+    oversized phase flushes as its own block); ``finish`` returns the
+    final partial block.  Phases must arrive iteration-major with
+    non-decreasing iteration indices -- per-iteration GPU ordering is
+    validated downstream by :class:`IterationTrace`.
+    """
+
+    def __init__(self, chunk_ops: int = DEFAULT_CHUNK_OPS) -> None:
+        if chunk_ops <= 0:
+            raise ValueError(f"chunk_ops must be positive: {chunk_ops}")
+        self.chunk_ops = chunk_ops
+        self._parts: dict[str, list[np.ndarray]] = {c: [] for c in COLUMNS}
+        self._offsets = dict.fromkeys(COLUMNS, 0)
+        self._headers: list[PhaseHeader] = []
+        self._buffered_ops = 0
+        self._last_iteration = -1
+
+    def add(self, iteration: int, phase: KernelPhase) -> ColumnBlock | None:
+        """Buffer one phase; returns a full block when one flushes."""
+        if iteration < self._last_iteration:
+            raise ValueError(
+                f"phases must be emitted iteration-major: got iteration "
+                f"{iteration} after {self._last_iteration}"
+            )
+        self._last_iteration = iteration
+        slices: dict[str, tuple[int, int]] = {}
+        cols = phase_columns(phase)
+        for col in COLUMNS:
+            arr = cols[col]
+            if not (isinstance(arr, np.ndarray) and arr.dtype == np.int64):
+                arr = np.asarray(arr, dtype=np.int64)
+            start = self._offsets[col]
+            self._parts[col].append(arr)
+            self._offsets[col] = start + int(arr.size)
+            slices[col] = (start, self._offsets[col])
+            self._buffered_ops += int(arr.size)
+        self._headers.append(
+            PhaseHeader(
+                iteration=iteration,
+                gpu=phase.gpu,
+                work=phase.work,
+                dma=tuple(phase.dma),
+                slices=slices,
+            )
+        )
+        if self._buffered_ops >= self.chunk_ops:
+            return self._flush()
+        return None
+
+    def finish(self) -> ColumnBlock | None:
+        """The final partial block, or ``None`` if nothing is buffered."""
+        if not self._headers:
+            return None
+        return self._flush()
+
+    def _flush(self) -> ColumnBlock:
+        columns = {
+            col: (
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=np.int64)
+            )
+            for col, parts in self._parts.items()
+        }
+        block = ColumnBlock(phases=tuple(self._headers), columns=columns)
+        self._parts = {c: [] for c in COLUMNS}
+        self._offsets = dict.fromkeys(COLUMNS, 0)
+        self._headers = []
+        self._buffered_ops = 0
+        return block
+
+
+def drain_blocks(block_gen) -> tuple[list[ColumnBlock], dict]:
+    """Exhaust an ``iter_columns`` generator, capturing its metadata.
+
+    The generator's ``return`` value (PEP 380) is the workload's
+    metadata dict -- computed *after* generation for workloads whose
+    metadata summarizes the run (e.g. SSSP's reached-vertex count).
+    """
+    blocks: list[ColumnBlock] = []
+    while True:
+        try:
+            blocks.append(next(block_gen))
+        except StopIteration as stop:
+            return blocks, dict(stop.value or {})
+
+
+def blocks_to_trace(
+    name: str,
+    n_gpus: int,
+    blocks: list[ColumnBlock],
+    metadata: dict,
+) -> WorkloadTrace:
+    """Assemble streamed blocks back into a :class:`WorkloadTrace`.
+
+    Phases are zero-copy views over the block columns; iteration
+    grouping and per-GPU ordering are validated by the trace
+    containers themselves.
+    """
+    phases_by_iter: dict[int, list[KernelPhase]] = {}
+    for block in blocks:
+        for iteration, phase in block.kernel_phases():
+            phases_by_iter.setdefault(iteration, []).append(phase)
+    if sorted(phases_by_iter) != list(range(len(phases_by_iter))):
+        raise ValueError(
+            f"streamed iterations must be contiguous from 0, got "
+            f"{sorted(phases_by_iter)}"
+        )
+    iterations = [
+        IterationTrace(phases_by_iter[i]) for i in range(len(phases_by_iter))
+    ]
+    return WorkloadTrace(
+        name=name, n_gpus=n_gpus, iterations=iterations, metadata=metadata
+    )

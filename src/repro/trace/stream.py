@@ -35,25 +35,54 @@ class RemoteStoreBatch:
     dsts: np.ndarray
 
     def __post_init__(self) -> None:
-        self.addrs = np.asarray(self.addrs, dtype=np.int64)
-        self.sizes = np.asarray(self.sizes, dtype=np.int64)
-        self.dsts = np.asarray(self.dsts, dtype=np.int64)
+        # Already-int64 ndarrays (cache hits, column slices) pass
+        # through untouched -- no conversion, no subclass demotion.
+        if not (
+            isinstance(self.addrs, np.ndarray) and self.addrs.dtype == np.int64
+        ):
+            self.addrs = np.asarray(self.addrs, dtype=np.int64)
+        if not (
+            isinstance(self.sizes, np.ndarray) and self.sizes.dtype == np.int64
+        ):
+            self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        if not (
+            isinstance(self.dsts, np.ndarray) and self.dsts.dtype == np.int64
+        ):
+            self.dsts = np.asarray(self.dsts, dtype=np.int64)
         if not (self.addrs.shape == self.sizes.shape == self.dsts.shape):
             raise ValueError("store batch arrays must be parallel")
         if self.sizes.size and (self.sizes <= 0).any():
             raise ValueError("store sizes must be positive")
 
+    @classmethod
+    def trusted(
+        cls, addrs: np.ndarray, sizes: np.ndarray, dsts: np.ndarray
+    ) -> "RemoteStoreBatch":
+        """Wrap already-validated int64 columns as a batch *view*.
+
+        Skips ``__post_init__`` entirely: no dtype conversion and --
+        crucially for memory-mapped trace columns -- no positivity scan
+        touching every page.  Callers guarantee the arrays are parallel
+        int64 with positive sizes (slices of previously validated
+        columns qualify).
+        """
+        self = object.__new__(cls)
+        self.addrs = addrs
+        self.sizes = sizes
+        self.dsts = dsts
+        return self
+
     @staticmethod
     def empty() -> "RemoteStoreBatch":
         z = np.empty(0, dtype=np.int64)
-        return RemoteStoreBatch(z, z.copy(), z.copy())
+        return RemoteStoreBatch.trusted(z, z.copy(), z.copy())
 
     @staticmethod
     def concat(batches: list["RemoteStoreBatch"]) -> "RemoteStoreBatch":
         batches = [b for b in batches if b.count]
         if not batches:
             return RemoteStoreBatch.empty()
-        return RemoteStoreBatch(
+        return RemoteStoreBatch.trusted(
             np.concatenate([b.addrs for b in batches]),
             np.concatenate([b.sizes for b in batches]),
             np.concatenate([b.dsts for b in batches]),
@@ -69,7 +98,9 @@ class RemoteStoreBatch:
 
     def for_dst(self, dst: int) -> "RemoteStoreBatch":
         mask = self.dsts == dst
-        return RemoteStoreBatch(self.addrs[mask], self.sizes[mask], self.dsts[mask])
+        return RemoteStoreBatch.trusted(
+            self.addrs[mask], self.sizes[mask], self.dsts[mask]
+        )
 
     def destinations(self) -> list[int]:
         return sorted(int(d) for d in np.unique(self.dsts)) if self.count else []

@@ -2,19 +2,29 @@
 
 Workload trace generation (running the real algorithm) dominates
 experiment wall time, so traces can be captured once and replayed under
-every paradigm/configuration.  Two on-disk formats:
+every paradigm/configuration.  Two on-disk formats over one column
+schema (:data:`repro.trace.columns.COLUMNS`):
 
 * :func:`save_trace` / :func:`load_trace` -- a single ``.npz`` archive
   (flat numpy arrays keyed by iteration/GPU plus a JSON metadata blob);
   compact and portable, the CLI's capture format.
-* :func:`save_trace_dir` / :func:`load_trace_dir` -- a *columnar
-  directory*: one flat ``.npy`` file per store/atomic/read column
-  (every phase concatenated, ``header.json`` recording each phase's
-  slice) loaded with ``np.load(..., mmap_mode="r")``.  Compressed zip
-  members cannot be memory-mapped, so this is the layout the
-  :class:`~repro.run.cache.TraceCache` disk layer uses: parallel
+* :class:`TraceDirWriter` (with :func:`save_trace_dir` /
+  :func:`load_trace_dir` wrappers) -- a *columnar directory*: one flat
+  ``.npy`` file per column (every phase concatenated, ``header.json``
+  recording each phase's slice) loaded with ``np.load(..., mmap_mode="r")``.
+  Compressed zip members cannot be memory-mapped, so this is the layout
+  the :class:`~repro.run.cache.TraceCache` disk layer uses: parallel
   ``execute_grid`` workers replaying the same trace share the pages
-  read-only instead of each materializing a copy.
+  read-only instead of each materializing a copy.  The writer appends
+  :class:`~repro.trace.columns.ColumnBlock` chunks incrementally
+  (spill-while-generating), so a trace far larger than RAM is written
+  in constant memory; writing a whole trace goes through the same code
+  path, making streamed and whole-trace entries byte-identical.
+
+Both loaders share one phase-assembly path
+(:func:`repro.trace.columns.phase_from_columns`): phases are zero-copy
+views over the loaded columns, validated once at write time rather than
+re-scanned on every load.
 """
 
 from __future__ import annotations
@@ -24,99 +34,70 @@ import json
 from pathlib import Path
 
 import numpy as np
+from numpy.lib import format as _npy_format
 
 from ..gpu.compute import KernelWork
-from .intervals import IntervalSet
+from .columns import COLUMNS, ColumnBlock, phase_columns, phase_from_columns
 from .stream import (
     DMATransfer,
     IterationTrace,
     KernelPhase,
-    RemoteStoreBatch,
     WorkloadTrace,
 )
 
 _FORMAT_VERSION = 2
 
-#: Per-phase columns of the columnar directory layout, in file order.
-_COLUMNS = (
-    "addrs",
-    "sizes",
-    "dsts",
-    "aaddrs",
-    "asizes",
-    "adsts",
-    "rstarts",
-    "rends",
-)
+#: Legacy alias of the shared schema (kept for external callers).
+_COLUMNS = COLUMNS
 
 
-def save_trace(trace: WorkloadTrace, path: str | Path) -> None:
-    """Write ``trace`` to ``path`` as a compressed npz archive."""
-    arrays: dict[str, np.ndarray] = {}
-    header = {
-        "version": _FORMAT_VERSION,
-        "name": trace.name,
-        "n_gpus": trace.n_gpus,
-        "n_iterations": trace.n_iterations,
-        "metadata": trace.metadata,
-        "phases": [],
+# -- shared schema helpers ------------------------------------------
+
+
+def _phase_header_entry(iteration: int, phase: KernelPhase) -> dict:
+    """The JSON header record of one phase (sans column slices)."""
+    return {
+        "iteration": iteration,
+        "gpu": phase.gpu,
+        "flops": phase.work.flops,
+        "dram_bytes": phase.work.dram_bytes,
+        "precision": phase.work.precision,
+        "dma": [
+            [t.dst, t.dst_addr, t.nbytes, t.aggregated] for t in phase.dma
+        ],
     }
-    for i, it in enumerate(trace.iterations):
-        for p in it.phases:
-            key = f"it{i}_gpu{p.gpu}"
-            arrays[f"{key}_addrs"] = p.stores.addrs
-            arrays[f"{key}_sizes"] = p.stores.sizes
-            arrays[f"{key}_dsts"] = p.stores.dsts
-            arrays[f"{key}_aaddrs"] = p.atomics.addrs
-            arrays[f"{key}_asizes"] = p.atomics.sizes
-            arrays[f"{key}_adsts"] = p.atomics.dsts
-            arrays[f"{key}_rstarts"] = p.reads.starts
-            arrays[f"{key}_rends"] = p.reads.ends
-            header["phases"].append(
-                {
-                    "key": key,
-                    "iteration": i,
-                    "gpu": p.gpu,
-                    "flops": p.work.flops,
-                    "dram_bytes": p.work.dram_bytes,
-                    "precision": p.work.precision,
-                    "dma": [
-                        [t.dst, t.dst_addr, t.nbytes, t.aggregated] for t in p.dma
-                    ],
-                }
-            )
-    arrays["__header__"] = np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez_compressed(Path(path), **arrays)
 
 
-def _as_int64(arr: np.ndarray) -> np.ndarray:
-    """``int64`` view without copying already-int64 arrays (keeps
-    memory-mapped slices zero-copy)."""
-    return arr if arr.dtype == np.int64 else arr.astype(np.int64)
-
-
-def _build_phase(ph: dict, columns: dict[str, np.ndarray]) -> KernelPhase:
-    """One :class:`KernelPhase` from a header entry plus its columns."""
-    return KernelPhase(
+def _phase_from_entry(ph: dict, columns: dict[str, np.ndarray]) -> KernelPhase:
+    """One zero-copy :class:`KernelPhase` from a header entry."""
+    return phase_from_columns(
         gpu=ph["gpu"],
         work=KernelWork(
             flops=ph["flops"],
             dram_bytes=ph["dram_bytes"],
             precision=ph["precision"],
         ),
-        stores=RemoteStoreBatch(
-            columns["addrs"], columns["sizes"], columns["dsts"]
-        ),
-        atomics=RemoteStoreBatch(
-            columns["aaddrs"], columns["asizes"], columns["adsts"]
-        ),
-        reads=IntervalSet(
-            _as_int64(columns["rstarts"]), _as_int64(columns["rends"])
-        ),
         dma=[DMATransfer(*t) for t in ph["dma"]],
+        columns=columns,
     )
+
+
+def _check_version(header: dict, *, layout: str | None = None) -> None:
+    if header.get("version") != _FORMAT_VERSION or (
+        layout is not None and header.get("layout") != layout
+    ):
+        raise ValueError(
+            f"unsupported trace format: version {header.get('version')}, "
+            f"layout {header.get('layout')!r}"
+        )
+
+
+def _as_validated_int64(arr: np.ndarray) -> np.ndarray:
+    """``int64`` view without copying already-int64 arrays (keeps
+    memory-mapped slices zero-copy)."""
+    if isinstance(arr, np.ndarray) and arr.dtype == np.int64:
+        return arr
+    return np.asarray(arr, dtype=np.int64)
 
 
 def _assemble(header: dict, phases: list[KernelPhase]) -> WorkloadTrace:
@@ -135,100 +116,201 @@ def _assemble(header: dict, phases: list[KernelPhase]) -> WorkloadTrace:
     )
 
 
-def load_trace(path: str | Path) -> WorkloadTrace:
-    """Read a trace written by :func:`save_trace`."""
-    with np.load(Path(path)) as data:
-        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
-        if header["version"] != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {header['version']}"
-            )
-        phases = [
-            _build_phase(
-                ph,
-                {c: data[f"{ph['key']}_{c}"] for c in _COLUMNS},
-            )
-            for ph in header["phases"]
-        ]
-    return _assemble(header, phases)
+def _file_sha256(path: Path, chunk_bytes: int = 1 << 20) -> str:
+    """Whole-file SHA-256 streamed in chunks (constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
-def save_trace_dir(trace: WorkloadTrace, path: str | Path) -> None:
-    """Write ``trace`` as a columnar directory (see module docstring).
+# -- single-file .npz archive ---------------------------------------
 
-    Layout: ``<col>.npy`` per column in :data:`_COLUMNS` -- every
-    phase's arrays concatenated in header order -- plus ``header.json``
-    whose per-phase entries record ``slices[col] = [start, stop)``.
-    The header is written last, so a directory with a readable header
-    is complete (the cache layer additionally publishes whole
-    directories atomically via ``os.replace``).
-    """
-    path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
+
+def save_trace(trace: WorkloadTrace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as a compressed npz archive."""
+    arrays: dict[str, np.ndarray] = {}
     header = {
         "version": _FORMAT_VERSION,
-        "layout": "columnar",
         "name": trace.name,
         "n_gpus": trace.n_gpus,
         "n_iterations": trace.n_iterations,
         "metadata": trace.metadata,
         "phases": [],
     }
-    parts: dict[str, list[np.ndarray]] = {c: [] for c in _COLUMNS}
-    offsets = dict.fromkeys(_COLUMNS, 0)
     for i, it in enumerate(trace.iterations):
         for p in it.phases:
-            arrays = {
-                "addrs": p.stores.addrs,
-                "sizes": p.stores.sizes,
-                "dsts": p.stores.dsts,
-                "aaddrs": p.atomics.addrs,
-                "asizes": p.atomics.sizes,
-                "adsts": p.atomics.dsts,
-                "rstarts": p.reads.starts,
-                "rends": p.reads.ends,
-            }
-            slices = {}
-            for col in _COLUMNS:
-                arr = np.asarray(arrays[col], dtype=np.int64)
-                parts[col].append(arr)
-                slices[col] = [offsets[col], offsets[col] + int(arr.size)]
-                offsets[col] += int(arr.size)
-            header["phases"].append(
+            key = f"it{i}_gpu{p.gpu}"
+            cols = phase_columns(p)
+            for col in COLUMNS:
+                arrays[f"{key}_{col}"] = cols[col]
+            header["phases"].append({"key": key, **_phase_header_entry(i, p)})
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_trace(path: str | Path) -> WorkloadTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        _check_version(header)
+        phases = [
+            _phase_from_entry(
+                ph,
                 {
-                    "iteration": i,
-                    "gpu": p.gpu,
-                    "flops": p.work.flops,
-                    "dram_bytes": p.work.dram_bytes,
-                    "precision": p.work.precision,
-                    "dma": [
-                        [t.dst, t.dst_addr, t.nbytes, t.aggregated]
-                        for t in p.dma
-                    ],
-                    "slices": slices,
-                }
+                    c: _as_validated_int64(data[f"{ph['key']}_{c}"])
+                    for c in COLUMNS
+                },
             )
-    checksums = {}
-    for col in _COLUMNS:
-        flat = (
-            np.concatenate(parts[col])
-            if parts[col]
-            else np.empty(0, dtype=np.int64)
+            for ph in header["phases"]
+        ]
+    return _assemble(header, phases)
+
+
+# -- columnar directory ---------------------------------------------
+
+
+def _write_npy_header(fh, count: int) -> None:
+    """(Re)write the npy v1 header for a flat int64 array of ``count``.
+
+    The header numpy emits for a 1-D int64 array is a fixed 128 bytes
+    for any realistic length (padded to 64-byte alignment), so it can
+    be written with a placeholder count while data streams in and
+    rewritten in place once the final count is known.
+    """
+    start = fh.tell()
+    _npy_format.write_array_header_1_0(
+        fh, {"descr": "<i8", "fortran_order": False, "shape": (count,)}
+    )
+    if fh.tell() - start != _NPY_HEADER_BYTES:  # pragma: no cover
+        raise RuntimeError(
+            f"npy header for count {count} was {fh.tell() - start} bytes, "
+            f"expected {_NPY_HEADER_BYTES}"
         )
-        file = path / f"{col}.npy"
-        np.save(file, flat)
-        checksums[col] = hashlib.sha256(file.read_bytes()).hexdigest()
-    # Integrity record: verified on load only when asked (verify=True /
-    # $REPRO_TRACE_VERIFY through the cache) so the default zero-copy
-    # mmap path stays untouched.
-    header["checksums"] = checksums
-    (path / "header.json").write_text(json.dumps(header))
+
+
+_NPY_HEADER_BYTES = 128
+
+
+class TraceDirWriter:
+    """Incremental columnar-directory writer (spill-while-generating).
+
+    Opens one ``.npy`` stream per schema column with a placeholder
+    header, appends each :class:`ColumnBlock`'s phases as they are
+    produced, and on :meth:`finalize` rewrites the headers with the
+    final counts, records streamed SHA-256 checksums, and writes
+    ``header.json`` last -- so a directory with a readable header is
+    complete (the cache layer additionally publishes whole directories
+    atomically via ``os.replace``).
+
+    Peak memory is one block, independent of trace length.
+    """
+
+    def __init__(self, path: str | Path, name: str, n_gpus: int) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.n_gpus = n_gpus
+        self._files = {}
+        for col in COLUMNS:
+            fh = open(self.path / f"{col}.npy", "wb")
+            _write_npy_header(fh, 0)
+            self._files[col] = fh
+        self._counts = dict.fromkeys(COLUMNS, 0)
+        self._phase_entries: list[dict] = []
+        self._n_iterations = 0
+        self._finalized = False
+
+    # -- intake -----------------------------------------------------
+
+    def add_phase(self, iteration: int, phase: KernelPhase) -> None:
+        """Append one phase's columns and index entry."""
+        cols = phase_columns(phase)
+        slices: dict[str, list[int]] = {}
+        for col in COLUMNS:
+            arr = np.ascontiguousarray(cols[col], dtype=np.int64)
+            start = self._counts[col]
+            self._files[col].write(arr)
+            self._counts[col] = start + int(arr.size)
+            slices[col] = [start, self._counts[col]]
+        entry = _phase_header_entry(iteration, phase)
+        entry["slices"] = slices
+        self._phase_entries.append(entry)
+        self._n_iterations = max(self._n_iterations, iteration + 1)
+
+    def add_block(self, block: ColumnBlock) -> None:
+        """Append every phase of a streamed :class:`ColumnBlock`."""
+        for iteration, phase in block.kernel_phases():
+            self.add_phase(iteration, phase)
+
+    # -- completion -------------------------------------------------
+
+    def finalize(self, metadata: dict) -> None:
+        """Rewrite final array headers, checksum, and publish the header."""
+        if self._finalized:
+            raise RuntimeError("trace directory already finalized")
+        self._finalized = True
+        for col, fh in self._files.items():
+            fh.flush()
+            fh.seek(0)
+            _write_npy_header(fh, self._counts[col])
+            fh.close()
+        # Integrity record: verified on load only when asked
+        # (verify=True / $REPRO_TRACE_VERIFY through the cache) so the
+        # default zero-copy mmap path stays untouched.
+        checksums = {
+            col: _file_sha256(self.path / f"{col}.npy") for col in COLUMNS
+        }
+        header = {
+            "version": _FORMAT_VERSION,
+            "layout": "columnar",
+            "name": self.name,
+            "n_gpus": self.n_gpus,
+            "n_iterations": self._n_iterations,
+            "metadata": metadata,
+            "phases": self._phase_entries,
+            "checksums": checksums,
+        }
+        (self.path / "header.json").write_text(json.dumps(header))
+
+    def abort(self) -> None:
+        """Close streams without publishing (caller removes the dir)."""
+        if not self._finalized:
+            self._finalized = True
+            for fh in self._files.values():
+                fh.close()
+
+    def __enter__(self) -> "TraceDirWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+
+
+def save_trace_dir(trace: WorkloadTrace, path: str | Path) -> None:
+    """Write ``trace`` as a columnar directory (see module docstring).
+
+    A thin wrapper over :class:`TraceDirWriter` -- whole-trace saves
+    and streamed spills share one code path, so their bytes match.
+    """
+    with TraceDirWriter(path, name=trace.name, n_gpus=trace.n_gpus) as writer:
+        for i, it in enumerate(trace.iterations):
+            for p in it.phases:
+                writer.add_phase(i, p)
+        writer.finalize(trace.metadata)
 
 
 def load_trace_dir(
     path: str | Path, mmap: bool = True, verify: bool = False
 ) -> WorkloadTrace:
-    """Read a columnar trace directory written by :func:`save_trace_dir`.
+    """Read a columnar trace directory written by :class:`TraceDirWriter`.
 
     With ``mmap=True`` (the default) every column is memory-mapped
     read-only: phase arrays are zero-copy slices backed by the page
@@ -242,29 +324,25 @@ def load_trace_dir(
     """
     path = Path(path)
     header = json.loads((path / "header.json").read_text())
-    if header["version"] != _FORMAT_VERSION or header.get("layout") != "columnar":
-        raise ValueError(
-            f"unsupported trace directory format: version "
-            f"{header.get('version')}, layout {header.get('layout')!r}"
-        )
+    _check_version(header, layout="columnar")
     if verify:
         for col, expected in (header.get("checksums") or {}).items():
-            actual = hashlib.sha256((path / f"{col}.npy").read_bytes()).hexdigest()
-            if actual != expected:
+            if _file_sha256(path / f"{col}.npy") != expected:
                 raise ValueError(
                     f"trace column {col}.npy failed its integrity check "
                     f"in {path}"
                 )
     mode = "r" if mmap else None
     columns = {
-        col: np.load(path / f"{col}.npy", mmap_mode=mode) for col in _COLUMNS
+        col: _as_validated_int64(np.load(path / f"{col}.npy", mmap_mode=mode))
+        for col in COLUMNS
     }
     phases = [
-        _build_phase(
+        _phase_from_entry(
             ph,
             {
                 col: columns[col][ph["slices"][col][0] : ph["slices"][col][1]]
-                for col in _COLUMNS
+                for col in COLUMNS
             },
         )
         for ph in header["phases"]

@@ -26,10 +26,8 @@ from ..gpu.memory import MemorySpace
 from ..trace.intervals import IntervalSet
 from ..trace.stream import (
     DMATransfer,
-    IterationTrace,
     KernelPhase,
     RemoteStoreBatch,
-    WorkloadTrace,
 )
 from ..registry import workloads as _registry
 from .base import MultiGPUWorkload, element_intervals, push_elements
@@ -61,9 +59,7 @@ class ALSWorkload(MultiGPUWorkload):
     def factor_bytes(self) -> int:
         return self.rank * 4  # fp32 factors
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
         ratings = bipartite_ratings(
             self.n_users, self.n_items, self.avg_ratings, seed
         )
@@ -94,7 +90,7 @@ class ALSWorkload(MultiGPUWorkload):
 
         tie_break = np.random.default_rng(seed + 17)
 
-        def sub_iteration(user_phase: bool) -> IterationTrace:
+        def sub_iteration(user_phase: bool) -> list[KernelPhase]:
             """One ALS half-step: solve users (or items), broadcast."""
             if user_phase:
                 bounds, buf = ubounds, ufac
@@ -158,20 +154,17 @@ class ALSWorkload(MultiGPUWorkload):
                         dma=dma,
                     )
                 )
-            return IterationTrace(phases)
+            return phases
 
-        user_iter = sub_iteration(user_phase=True)
-        item_iter = sub_iteration(user_phase=False)
-        seq = [user_iter if i % 2 == 0 else item_iter for i in range(iterations)]
-        return WorkloadTrace(
-            name=self.name,
-            n_gpus=n_gpus,
-            iterations=seq,
-            metadata={
-                "n_users": self.n_users,
-                "n_items": self.n_items,
-                "rank": self.rank,
-                "nnz": ratings.nnz,
-                "comm_pattern": self.comm_pattern,
-            },
-        )
+        user_phases = sub_iteration(user_phase=True)
+        item_phases = sub_iteration(user_phase=False)
+        for i in range(iterations):
+            for p in user_phases if i % 2 == 0 else item_phases:
+                yield i, p
+        return {
+            "n_users": self.n_users,
+            "n_items": self.n_items,
+            "rank": self.rank,
+            "nnz": ratings.nnz,
+            "comm_pattern": self.comm_pattern,
+        }

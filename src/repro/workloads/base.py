@@ -15,23 +15,98 @@ import numpy as np
 
 from ..gpu.coalescer import coalesce_stream
 from ..gpu.memory import MemorySpace, ReplicatedBuffer
+from ..trace.columns import (
+    DEFAULT_CHUNK_OPS,
+    ColumnBlockBuilder,
+    blocks_to_trace,
+    drain_blocks,
+)
 from ..trace.intervals import IntervalSet
 from ..trace.stream import RemoteStoreBatch, WorkloadTrace
 
 
 class MultiGPUWorkload(abc.ABC):
-    """Base class for the eight applications of paper Sec. V."""
+    """Base class for the eight applications of paper Sec. V.
+
+    The native emission interface is :meth:`iter_phases`: a generator
+    yielding ``(iteration, KernelPhase)`` pairs iteration-major (every
+    iteration exactly one phase per GPU, in GPU order) and *returning*
+    the trace metadata dict -- metadata may summarize the finished run
+    (SSSP's reached count), so it only exists once the stream ends.
+    :meth:`iter_columns` packs that stream into bounded
+    :class:`~repro.trace.columns.ColumnBlock` chunks for streaming
+    consumers (the spill-while-generating trace cache), and
+    :meth:`generate_trace` is a thin adapter assembling the blocks into
+    a whole :class:`WorkloadTrace`.
+
+    Subclasses implement :meth:`iter_phases`; legacy subclasses that
+    override only :meth:`generate_trace` keep working -- the default
+    :meth:`iter_phases` falls back to replaying the materialized trace.
+    """
 
     #: Short identifier used in reports ("jacobi", "sssp", ...).
     name: str = "abstract"
     #: The paper's characterization of the communication pattern.
     comm_pattern: str = "unknown"
 
-    @abc.abstractmethod
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
+        """Yield ``(iteration, KernelPhase)``; return the metadata dict.
+
+        Default implementation streams a materialized
+        :meth:`generate_trace` result, for subclasses that only
+        override the legacy whole-trace method.
+        """
+        if type(self).generate_trace is MultiGPUWorkload.generate_trace:
+            raise TypeError(
+                f"{type(self).__name__} must override iter_phases() "
+                f"or generate_trace()"
+            )
+        trace = self.generate_trace(n_gpus, iterations=iterations, seed=seed)
+        for i, it in enumerate(trace.iterations):
+            for p in it.phases:
+                yield i, p
+        return dict(trace.metadata)
+
+    def iter_columns(
+        self,
+        n_gpus: int,
+        iterations: int = 3,
+        seed: int = 7,
+        chunk_ops: int = DEFAULT_CHUNK_OPS,
+    ):
+        """Yield :class:`ColumnBlock` chunks; return the metadata dict.
+
+        The streamed chunks carry exactly the phases
+        :meth:`iter_phases` emits -- chunking never splits a phase, so
+        any chunk size reassembles to the identical trace (the
+        property the trace cache's spill-while-generating path and the
+        Hypothesis identity test both rely on).
+        """
+        builder = ColumnBlockBuilder(chunk_ops)
+        gen = self.iter_phases(n_gpus, iterations=iterations, seed=seed)
+        while True:
+            try:
+                iteration, phase = next(gen)
+            except StopIteration as stop:
+                metadata = dict(stop.value or {})
+                break
+            block = builder.add(iteration, phase)
+            if block is not None:
+                yield block
+        tail = builder.finish()
+        if tail is not None:
+            yield tail
+        return metadata
+
     def generate_trace(
         self, n_gpus: int, iterations: int = 3, seed: int = 7
     ) -> WorkloadTrace:
-        """Execute the workload and return its trace."""
+        """Execute the workload and return its whole trace (an adapter
+        over :meth:`iter_columns`)."""
+        blocks, metadata = drain_blocks(
+            self.iter_columns(n_gpus, iterations=iterations, seed=seed)
+        )
+        return blocks_to_trace(self.name, n_gpus, blocks, metadata)
 
     def spec_params(self) -> dict:
         """Constructor kwargs that recreate this instance.

@@ -40,10 +40,8 @@ from ..registry import workloads as _registry
 from ..trace.intervals import IntervalSet
 from ..trace.stream import (
     DMATransfer,
-    IterationTrace,
     KernelPhase,
     RemoteStoreBatch,
-    WorkloadTrace,
 )
 from .base import MultiGPUWorkload, interleave, push_elements
 
@@ -422,19 +420,17 @@ class CollectiveWorkload(MultiGPUWorkload):
             precision="fp32" if self.elem_bytes <= 4 else "fp64",
         )
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
         if iterations <= 0:
             raise ValueError("iterations must be positive")
         if n_gpus == 1:
-            return self._single_gpu_trace(iterations)
+            return (yield from self._iter_single_gpu(iterations))
         schedule = self.build_schedule(n_gpus)
         memory = MemorySpace(n_gpus)
         buf = memory.alloc_replicated(f"{self.name}.buf", schedule.buffer_bytes)
         eb = self.elem_bytes
 
-        step_iterations: list[IterationTrace] = []
+        step_phases: list[list[KernelPhase]] = []
         for step in range(schedule.n_steps):
             phases: list[KernelPhase] = []
             for rank in range(n_gpus):
@@ -481,27 +477,30 @@ class CollectiveWorkload(MultiGPUWorkload):
                         dma=dma,
                     )
                 )
-            step_iterations.append(IterationTrace(phases))
+            step_phases.append(phases)
 
-        return WorkloadTrace(
-            name=self.name,
-            n_gpus=n_gpus,
-            iterations=step_iterations * iterations,
-            metadata={
-                "op": schedule.op,
-                "comm_pattern": self.comm_pattern,
-                "message_bytes": schedule.nbytes,
-                "chunk_bytes": self.chunk_bytes,
-                "elem_bytes": eb,
-                "fine_grained": self.fine_grained,
-                "steps_per_invocation": schedule.n_steps,
-                "invocations": iterations,
-                "schedule_transfers": len(schedule.transfers),
-                "total_wire_payload": schedule.total_bytes() * iterations,
-            },
-        )
+        # One trace iteration per schedule step, repeated per requested
+        # invocation (the bulk-synchronous lowering of step dependence).
+        it = 0
+        for _ in range(iterations):
+            for phases in step_phases:
+                for p in phases:
+                    yield it, p
+                it += 1
+        return {
+            "op": schedule.op,
+            "comm_pattern": self.comm_pattern,
+            "message_bytes": schedule.nbytes,
+            "chunk_bytes": self.chunk_bytes,
+            "elem_bytes": eb,
+            "fine_grained": self.fine_grained,
+            "steps_per_invocation": schedule.n_steps,
+            "invocations": iterations,
+            "schedule_transfers": len(schedule.transfers),
+            "total_wire_payload": schedule.total_bytes() * iterations,
+        }
 
-    def _single_gpu_trace(self, iterations: int) -> WorkloadTrace:
+    def _iter_single_gpu(self, iterations: int):
         """1-GPU baseline: the local reduction/copy, no communication."""
         elems = _padded_elems(self.message_bytes, self.elem_bytes, 1)
         size = elems * self.elem_bytes
@@ -511,12 +510,9 @@ class CollectiveWorkload(MultiGPUWorkload):
             precision="fp32" if self.elem_bytes <= 4 else "fp64",
         )
         phase = KernelPhase(gpu=0, work=work)
-        return WorkloadTrace(
-            name=self.name,
-            n_gpus=1,
-            iterations=[IterationTrace([phase]) for _ in range(iterations)],
-            metadata={"op": self.name, "comm_pattern": self.comm_pattern},
-        )
+        for i in range(iterations):
+            yield i, phase
+        return {"op": self.name, "comm_pattern": self.comm_pattern}
 
 
 @_registry.register("allreduce_ring")

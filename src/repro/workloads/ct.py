@@ -31,10 +31,8 @@ from ..gpu.memory import MemorySpace
 from ..trace.intervals import IntervalSet
 from ..trace.stream import (
     DMATransfer,
-    IterationTrace,
     KernelPhase,
     RemoteStoreBatch,
-    WorkloadTrace,
 )
 from ..registry import workloads as _registry
 from .base import MultiGPUWorkload, contiguous_interval, push_elements
@@ -78,9 +76,7 @@ class CTWorkload(MultiGPUWorkload):
         offsets = np.arange(self.cluster)
         return (starts[:, None] + offsets[None, :]).ravel()
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
         rng = np.random.default_rng(seed)
         bounds = partition_bounds(self.volume_voxels, n_gpus)
         memory = MemorySpace(n_gpus)
@@ -96,9 +92,10 @@ class CTWorkload(MultiGPUWorkload):
             if d != g
         }
 
-        iteration_traces = []
-        for _ in range(iterations):
-            phases: list[KernelPhase] = []
+        # Each iteration's corrections are fresh RNG draws, so phases
+        # stream one at a time: generation never holds more than one
+        # iteration's arrays (the constant-memory case).
+        for i in range(iterations):
             for g in range(n_gpus):
                 targets = self._targets(rng, per_gpu)
                 owners = np.searchsorted(bounds, targets, side="right") - 1
@@ -139,24 +136,16 @@ class CTWorkload(MultiGPUWorkload):
                         reads = reads.union(
                             contiguous_interval(addr, per_gpu * 8)
                         )
-                phases.append(
-                    KernelPhase(
-                        gpu=g,
-                        work=work,
-                        stores=RemoteStoreBatch.concat(batches),
-                        reads=reads,
-                        dma=dma,
-                    )
+                yield i, KernelPhase(
+                    gpu=g,
+                    work=work,
+                    stores=RemoteStoreBatch.concat(batches),
+                    reads=reads,
+                    dma=dma,
                 )
-            iteration_traces.append(IterationTrace(phases))
 
-        return WorkloadTrace(
-            name=self.name,
-            n_gpus=n_gpus,
-            iterations=iteration_traces,
-            metadata={
-                "volume_voxels": self.volume_voxels,
-                "total_corrections": self.total_corrections,
-                "comm_pattern": self.comm_pattern,
-            },
-        )
+        return {
+            "volume_voxels": self.volume_voxels,
+            "total_corrections": self.total_corrections,
+            "comm_pattern": self.comm_pattern,
+        }

@@ -9,10 +9,9 @@ the paper's second "regular" application.
 
 from __future__ import annotations
 
-from ..trace.stream import WorkloadTrace
 from ..registry import workloads as _registry
 from .base import MultiGPUWorkload
-from .grids import StencilSpec, build_stencil_trace
+from .grids import StencilSpec, iter_stencil_phases
 
 
 @_registry.register("diffusion")
@@ -27,9 +26,7 @@ class DiffusionWorkload(MultiGPUWorkload):
             raise ValueError(f"volume too small: {n}")
         self.n = n
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
         spec = StencilSpec(
             name=self.name,
             grid=(self.n, self.n, self.n),
@@ -40,4 +37,4 @@ class DiffusionWorkload(MultiGPUWorkload):
             dram_bytes_per_point=16.0,
             precision="fp64",
         )
-        return build_stencil_trace(spec, n_gpus, iterations)
+        return (yield from iter_stencil_phases(spec, n_gpus, iterations))

@@ -10,9 +10,9 @@ stencil run), so listing or instantiating every registered workload
 stays safe; tests and the CI crash-injection smoke opt into misbehavior
 explicitly.
 
-Failure is injected inside :meth:`FaultyWorkload.generate_trace`, i.e.
-on a trace-cache *miss* -- exactly where a real workload would OOM or
-wedge.  A crash (``os._exit``) or an exception prevents the trace from
+Failure is injected at the start of :meth:`FaultyWorkload.iter_phases`
+-- trace generation, i.e. a trace-cache *miss* -- exactly where a real
+workload would OOM or wedge.  A crash (``os._exit``) or an exception prevents the trace from
 being cached, so a retry of the same cell re-enters the faulty path
 until its failure ``budget`` is spent.
 
@@ -34,9 +34,8 @@ import time
 from pathlib import Path
 
 from ..registry import workloads as _registry
-from ..trace.stream import WorkloadTrace
 from .base import MultiGPUWorkload
-from .grids import StencilSpec, build_stencil_trace
+from .grids import StencilSpec, iter_stencil_phases
 
 #: Exit status of a ``mode="crash"`` worker (visible in CI logs).
 CRASH_EXIT_CODE = 13
@@ -129,9 +128,10 @@ class FaultyWorkload(MultiGPUWorkload):
 
     # -- workload contract ------------------------------------------
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
+        # Misbehave when generation *starts* (the stream's first pull):
+        # exactly where a real workload would OOM or wedge, whether the
+        # cache materializes the trace or spills it while generating.
         self._misbehave()
         spec = StencilSpec(
             name=self.name,
@@ -142,4 +142,4 @@ class FaultyWorkload(MultiGPUWorkload):
             dram_bytes_per_point=16.0,
             precision="fp64",
         )
-        return build_stencil_trace(spec, n_gpus, iterations)
+        return (yield from iter_stencil_phases(spec, n_gpus, iterations))

@@ -67,16 +67,8 @@ class StencilSpec:
         return math.prod(self.grid)
 
 
-def build_stencil_trace(
-    spec: StencilSpec, n_gpus: int, iterations: int
-) -> WorkloadTrace:
-    """Produce the halo-exchange trace for a stencil workload.
-
-    Every iteration is identical (the stencil touches the same halos),
-    so phases are built once and shared across iterations.
-    """
-    if iterations <= 0:
-        raise ValueError("iterations must be positive")
+def _stencil_phases(spec: StencilSpec, n_gpus: int) -> list[KernelPhase]:
+    """One iteration's halo-exchange phases (identical every iteration)."""
     memory = MemorySpace(n_gpus)
     field = memory.alloc_replicated(
         f"{spec.name}.field", spec.total_points * spec.elem_bytes
@@ -149,15 +141,48 @@ def build_stencil_trace(
                 dma=dma,
             )
         )
+    return phases
 
-    iteration = IterationTrace(phases)
+
+def _stencil_metadata(spec: StencilSpec) -> dict:
+    return {
+        "grid": list(spec.grid),
+        "halo_depth": spec.halo_depth,
+        "comm_pattern": "peer-to-peer",
+    }
+
+
+def iter_stencil_phases(spec: StencilSpec, n_gpus: int, iterations: int):
+    """Stream the halo-exchange phases of a stencil workload.
+
+    Every iteration is identical (the stencil touches the same halos),
+    so phases are built once and re-emitted per iteration; returns the
+    stencil metadata (the :meth:`MultiGPUWorkload.iter_phases`
+    contract).
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    phases = _stencil_phases(spec, n_gpus)
+    for i in range(iterations):
+        for p in phases:
+            yield i, p
+    return _stencil_metadata(spec)
+
+
+def build_stencil_trace(
+    spec: StencilSpec, n_gpus: int, iterations: int
+) -> WorkloadTrace:
+    """Produce the whole halo-exchange trace for a stencil workload.
+
+    Phases are built once and shared across iterations (the streaming
+    form is :func:`iter_stencil_phases`).
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    iteration = IterationTrace(_stencil_phases(spec, n_gpus))
     return WorkloadTrace(
         name=spec.name,
         n_gpus=n_gpus,
         iterations=[iteration] * iterations,
-        metadata={
-            "grid": list(spec.grid),
-            "halo_depth": spec.halo_depth,
-            "comm_pattern": "peer-to-peer",
-        },
+        metadata=_stencil_metadata(spec),
     )

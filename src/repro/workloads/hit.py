@@ -22,10 +22,8 @@ from ..gpu.memory import MemorySpace
 from ..trace.intervals import IntervalSet
 from ..trace.stream import (
     DMATransfer,
-    IterationTrace,
     KernelPhase,
     RemoteStoreBatch,
-    WorkloadTrace,
 )
 from ..registry import workloads as _registry
 from .base import MultiGPUWorkload, push_elements
@@ -45,9 +43,7 @@ class HITWorkload(MultiGPUWorkload):
         self.n = n
         self.dram_passes = dram_passes
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
         n = self.n
         total = n**3
         memory = MemorySpace(n_gpus)
@@ -133,10 +129,8 @@ class HITWorkload(MultiGPUWorkload):
                 )
             )
 
-        iteration = IterationTrace(phases)
-        return WorkloadTrace(
-            name=self.name,
-            n_gpus=n_gpus,
-            iterations=[iteration] * iterations,
-            metadata={"n": n, "comm_pattern": self.comm_pattern},
-        )
+        # Every FFT step performs the same transpose exchange.
+        for i in range(iterations):
+            for p in phases:
+                yield i, p
+        return {"n": n, "comm_pattern": self.comm_pattern}

@@ -10,10 +10,9 @@ stores already scale well (paper Fig. 9).
 
 from __future__ import annotations
 
-from ..trace.stream import WorkloadTrace
 from ..registry import workloads as _registry
 from .base import MultiGPUWorkload
-from .grids import StencilSpec, build_stencil_trace
+from .grids import StencilSpec, iter_stencil_phases
 
 
 @_registry.register("jacobi")
@@ -28,9 +27,7 @@ class JacobiWorkload(MultiGPUWorkload):
             raise ValueError(f"grid too small: {n}")
         self.n = n
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
         spec = StencilSpec(
             name=self.name,
             grid=(self.n, self.n),
@@ -43,4 +40,4 @@ class JacobiWorkload(MultiGPUWorkload):
             dram_bytes_per_point=16.0,
             precision="fp64",
         )
-        return build_stencil_trace(spec, n_gpus, iterations)
+        return (yield from iter_stencil_phases(spec, n_gpus, iterations))

@@ -29,10 +29,8 @@ from ..gpu.memory import MemorySpace
 from ..trace.intervals import IntervalSet
 from ..trace.stream import (
     DMATransfer,
-    IterationTrace,
     KernelPhase,
     RemoteStoreBatch,
-    WorkloadTrace,
 )
 from ..registry import workloads as _registry
 from .base import (
@@ -86,9 +84,7 @@ class PagerankWorkload(MultiGPUWorkload):
             x = self.damping * y + (1 - self.damping) / n
         return x
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
         graph = banded_matrix(self.n, self.band, self.avg_degree, seed)
         ranks = self._reference_ranks(graph, iterations)
         bounds = partition_bounds(self.n, n_gpus)
@@ -180,16 +176,15 @@ class PagerankWorkload(MultiGPUWorkload):
                 )
             )
 
-        iteration = IterationTrace(phases)
-        return WorkloadTrace(
-            name=self.name,
-            n_gpus=n_gpus,
-            iterations=[iteration] * iterations,
-            metadata={
-                "n": self.n,
-                "nnz": graph.nnz,
-                "band": self.band,
-                "rank_sum": float(ranks.sum()),
-                "comm_pattern": self.comm_pattern,
-            },
-        )
+        # The push pattern is identical every power iteration; only the
+        # rank *values* change, and the trace carries addresses.
+        for i in range(iterations):
+            for p in phases:
+                yield i, p
+        return {
+            "n": self.n,
+            "nnz": graph.nnz,
+            "band": self.band,
+            "rank_sum": float(ranks.sum()),
+            "comm_pattern": self.comm_pattern,
+        }

@@ -27,10 +27,8 @@ from ..gpu.memory import MemorySpace
 from ..trace.intervals import IntervalSet
 from ..trace.stream import (
     DMATransfer,
-    IterationTrace,
     KernelPhase,
     RemoteStoreBatch,
-    WorkloadTrace,
 )
 from ..registry import workloads as _registry
 from .base import MultiGPUWorkload, element_intervals, interleave, push_elements
@@ -60,9 +58,7 @@ class SSSPWorkload(MultiGPUWorkload):
         self.warmup_iterations = warmup_iterations
         self.source = source
 
-    def generate_trace(
-        self, n_gpus: int, iterations: int = 3, seed: int = 7
-    ) -> WorkloadTrace:
+    def iter_phases(self, n_gpus: int, iterations: int = 3, seed: int = 7):
         graph = powerlaw_graph(self.n, self.avg_degree, seed=seed)
         rng = np.random.default_rng(seed + 1)
         weights = rng.integers(1, self.max_weight, size=graph.nnz).astype(np.int64)
@@ -92,7 +88,6 @@ class SSSPWorkload(MultiGPUWorkload):
         dist = np.full(self.n, inf, dtype=np.int64)
         dist[self.source] = 0
 
-        iteration_traces: list[IterationTrace] = []
         total_rounds = self.warmup_iterations + iterations
         for rnd in range(total_rounds):
             # Synchronous relaxation against the previous round's dist.
@@ -103,7 +98,6 @@ class SSSPWorkload(MultiGPUWorkload):
             if record:
                 improved_mask = np.zeros(self.n, dtype=bool)
                 improved_mask[improved] = True
-                phases: list[KernelPhase] = []
                 for g in range(n_gpus):
                     e_g = int(edges_per_consumer[g])
                     owned = int(bounds[g + 1] - bounds[g])
@@ -152,28 +146,24 @@ class SSSPWorkload(MultiGPUWorkload):
                             8,
                             dbuf.replicas[g],
                         )
-                    phases.append(
-                        KernelPhase(
-                            gpu=g,
-                            work=work,
-                            stores=RemoteStoreBatch.concat(batches),
-                            reads=reads,
-                            dma=dma,
-                        )
+                    # Rounds stream as they are relaxed; the wavefront
+                    # state (dist) is all that generation retains.
+                    yield rnd - self.warmup_iterations, KernelPhase(
+                        gpu=g,
+                        work=work,
+                        stores=RemoteStoreBatch.concat(batches),
+                        reads=reads,
+                        dma=dma,
                     )
-                iteration_traces.append(IterationTrace(phases))
             # Commit this round's relaxations.
             np.minimum.at(dist, graph.dst[improving], candidate[improving])
 
+        # Metadata summarizes the finished run, so it rides the
+        # generator's return value (captured after the last phase).
         reached = int((dist < inf).sum())
-        return WorkloadTrace(
-            name=self.name,
-            n_gpus=n_gpus,
-            iterations=iteration_traces,
-            metadata={
-                "n": self.n,
-                "nnz": graph.nnz,
-                "reached": reached,
-                "comm_pattern": self.comm_pattern,
-            },
-        )
+        return {
+            "n": self.n,
+            "nnz": graph.nnz,
+            "reached": reached,
+            "comm_pattern": self.comm_pattern,
+        }

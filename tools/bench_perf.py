@@ -14,6 +14,15 @@ shared pre-warmed trace caches:
   paradigms on a 16-GPU fat tree (fanout 4) -- the hop-overlapping
   shape the event-ordered batch transport keeps on the fast path.
 
+A third suite, **trace_stream**, measures memory instead of time: two
+subprocesses generate the same ~13M-op CT trace through the trace
+cache, one spilling column chunks as they are produced (streaming, the
+default) and one materializing the whole trace first, and each reports
+its peak RSS *above its own post-import baseline* (import residency is
+page-cache-state noise).  The gate requires the streamed delta to be
+at most ``--max-stream-rss-ratio`` (default 0.5) of the whole-trace
+delta.
+
 ``BENCH_core.json`` records, per suite: per-run wall clock and
 per-stage breakdowns (fast and scalar), the end-to-end speedup
 ``scalar_s / fast_s``, and a byte-identity verdict -- every run's
@@ -43,11 +52,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(_SRC))
 
 from repro.perf.harness import profile_run  # noqa: E402
 from repro.run import RunSpec, TraceCache  # noqa: E402
@@ -169,6 +181,99 @@ def bench(name: str, specs) -> dict:
     }
 
 
+#: Self-reporting child for the trace_stream suite: generates one
+#: sizeable CT trace through the cache in the requested mode and prints
+#: its own peak RSS (ru_maxrss is per-process and monotonic, so each
+#: mode needs a fresh process).  The interpreter+numpy import footprint
+#: is recorded as a baseline and subtracted by the parent: import-time
+#: residency varies with system page-cache state (a warm cache
+#: fault-arounds whole .so files in), and only the *generation delta*
+#: above it is the quantity under test.
+_STREAM_PROBE = """
+import json, resource, sys, tempfile, time
+from repro.run import RunSpec, TraceCache
+
+stream = sys.argv[1] == "stream"
+baseline_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+spec = RunSpec(
+    workload="ct", paradigm="finepack", n_gpus=2, iterations=16,
+    workload_params={
+        "volume_voxels": 500_000_000,
+        "total_corrections": 1_600_000,
+        "cluster": 1,
+    },
+)
+t0 = time.perf_counter()
+with tempfile.TemporaryDirectory() as root:
+    cache = TraceCache(root, stream=stream, chunk_ops=262_144)
+    trace = cache.get_or_generate(spec)
+    ops = sum(p.stores.count for it in trace.iterations for p in it.phases)
+print(json.dumps({
+    "ops": ops,
+    "baseline_kb": baseline_kb,
+    "peak_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "wall_s": round(time.perf_counter() - t0, 3),
+}))
+"""
+
+
+def bench_trace_stream() -> dict:
+    """Peak-RSS comparison: streamed vs whole-trace cache generation."""
+
+    def probe(mode: str) -> dict:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_SRC)
+        out = subprocess.run(
+            [sys.executable, "-c", _STREAM_PROBE, mode],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        row = json.loads(out.stdout.strip().splitlines()[-1])
+        row["delta_kb"] = row["peak_kb"] - row["baseline_kb"]
+        return row
+
+    # Whole-trace mode runs first: its large allocation can perturb the
+    # *later* child's import baseline only in the direction that shrinks
+    # the streamed delta, so ordering keeps the gate deterministic.
+    print("[trace_stream] whole-trace generation ...", flush=True)
+    whole = probe("whole")
+    print(f"  +{whole['delta_kb'] / 1024:.0f} MiB over import baseline")
+    print("[trace_stream] streamed generation ...", flush=True)
+    streamed = probe("stream")
+    print(f"  +{streamed['delta_kb'] / 1024:.0f} MiB over import baseline")
+    return {
+        "ops": streamed["ops"],
+        "streamed_peak_kb": streamed["peak_kb"],
+        "streamed_delta_kb": streamed["delta_kb"],
+        "whole_peak_kb": whole["peak_kb"],
+        "whole_delta_kb": whole["delta_kb"],
+        "rss_ratio": round(
+            streamed["delta_kb"] / max(1, whole["delta_kb"]), 3
+        ),
+        "streamed_s": streamed["wall_s"],
+        "whole_s": whole["wall_s"],
+        "same_ops": streamed["ops"] == whole["ops"],
+    }
+
+
+def gate_trace_stream(block: dict, max_ratio: float) -> bool:
+    """``True`` means the memory gate failed."""
+    failed = False
+    if not block["same_ops"]:
+        print("FAIL [trace_stream]: streamed and whole traces differ in ops")
+        failed = True
+    if block["rss_ratio"] > max_ratio:
+        print(
+            f"FAIL [trace_stream]: streamed generation's peak RSS over "
+            f"the import baseline is {block['rss_ratio']:.2f}x the "
+            f"whole-trace mode's (gate: <= {max_ratio:.2f}x)"
+        )
+        failed = True
+    return failed
+
+
 def gate(name: str, block: dict, floor: float, baseline_speedup, threshold) -> bool:
     """Print verdicts for one suite; ``True`` means failed."""
     failed = False
@@ -226,6 +331,19 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the core suite (quick local iteration)",
     )
+    ap.add_argument(
+        "--skip-trace-stream",
+        action="store_true",
+        help="skip the streamed-generation peak-RSS suite",
+    )
+    ap.add_argument(
+        "--max-stream-rss-ratio",
+        type=float,
+        default=0.5,
+        help="memory gate: streamed generation's peak RSS must be at "
+        "most this fraction of whole-trace generation's (default 0.5, "
+        "i.e. a >=2x reduction)",
+    )
     ap.add_argument("--gpus", type=int, default=4, help="core-suite GPU count")
     ap.add_argument("--iterations", type=int, default=3)
     ap.add_argument(
@@ -272,10 +390,17 @@ def main(argv=None) -> int:
             **{k: v for k, v in collectives.items() if k != "mismatches"},
         }
 
+    trace_stream = None
+    if not args.skip_trace_stream:
+        trace_stream = bench_trace_stream()
+        report["trace_stream"] = trace_stream
+
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     line = f"wrote {args.out}: core speedup {core['speedup']:.2f}x"
     if collectives is not None:
         line += f", collectives speedup {collectives['speedup']:.2f}x"
+    if trace_stream is not None:
+        line += f", stream RSS ratio {trace_stream['rss_ratio']:.2f}x"
     print(line)
 
     failed = gate(
@@ -298,6 +423,8 @@ def main(argv=None) -> int:
             base_coll,
             args.threshold,
         )
+    if trace_stream is not None:
+        failed |= gate_trace_stream(trace_stream, args.max_stream_rss_ratio)
     return 1 if failed else 0
 
 
