@@ -1,6 +1,6 @@
 # Convenience targets for the FinePack reproduction.
 
-.PHONY: install test bench bench-smoke bench-perf quick verify docs report clean
+.PHONY: install test bench bench-smoke bench-perf calibrate quick verify docs report clean
 
 install:
 	pip install -e .
@@ -41,6 +41,15 @@ bench-smoke:
 # BENCH_core.json and gates against the committed baseline's speedup.
 bench-perf:
 	python tools/bench_perf.py --out BENCH_core.json --check BENCH_core.json
+
+# Analytical-fidelity calibration: cross-validates predict_metrics
+# against the DES over the calibration grid, gates the error budget
+# (median wire/payload/goodput error <= 10%) and the design-sweep
+# speedup floor (>= 50x), and records the error table into
+# BENCH_core.json under the "analytical" key.
+calibrate: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+calibrate:
+	python tools/calibrate_analytical.py --out BENCH_core.json
 
 # PYTHONPATH=src so docs regenerate without 'make install'.
 docs: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))

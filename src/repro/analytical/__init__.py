@@ -1,0 +1,33 @@
+"""Closed-form analytical fidelity tier (``fidelity="analytical"``).
+
+This package predicts :class:`~repro.sim.metrics.RunMetrics` for a
+:class:`~repro.run.spec.RunSpec` *without running the discrete-event
+simulator*: one streaming, vectorized pass over the trace's phase
+columns computes per-destination statistics (:mod:`.stats`), which are
+composed with per-paradigm protocol cost models (:mod:`.protocol`) and
+topology hop/serialization terms (:mod:`.timing`) into a full metrics
+object (:mod:`.model`).
+
+The byte-category predictions (payload, overhead, useful/wasted,
+goodput) are exact for ``p2p``/``dma``/``dma_sliced``/``infinite`` and
+first-order for ``finepack``/``wc``/``gps``; the model's error budget
+against the DES is asserted continuously by
+``tools/calibrate_analytical.py`` (see ``docs/analytical.md`` for the
+derivation of every term and the calibration methodology).
+
+Entry point::
+
+    from repro.analytical import predict_metrics
+    metrics = predict_metrics(spec, trace)   # no event loop
+
+or, transparently, any :class:`~repro.run.RunSpec` with
+``fidelity="analytical"`` executed through
+:class:`~repro.run.RunContext` / :func:`~repro.run.execute_grid` /
+the CLI (``--fidelity analytical``).
+"""
+
+from .model import predict_metrics
+from .protocol import PairCost
+from .stats import PhaseStats, phase_stats
+
+__all__ = ["predict_metrics", "PairCost", "PhaseStats", "phase_stats"]

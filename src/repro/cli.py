@@ -33,6 +33,16 @@ registered topology: ``fat_tree``, ``switched_mesh``, ``two_level``,
 ``fully_connected``) plus factory knobs ``--fanout``,
 ``--oversubscription`` and ``--planes``.
 
+``run``, ``compare`` and ``sweep`` also accept ``--fidelity
+{des,analytical}``.  The default ``des`` replays every event through
+the discrete-event simulator; ``analytical`` predicts each run's
+metrics in closed form from trace statistics (orders of magnitude
+faster; calibrated against the DES, see ``docs/analytical.md``).
+``sweep --fidelity analytical --refine-top K`` confirms a cheap
+sweep's winners by re-running the K fastest points per workload at
+DES fidelity; every report table labels which model produced each row
+(``des``, ``analytical``, or ``des (refined)``).
+
 ``sweep`` takes a workload name, a comma-separated list, or the
 ``collectives`` family alias (ring/tree all-reduce, all-gather,
 all-to-all, pipeline), and with the ``paradigm`` sweep parameter
@@ -98,6 +108,16 @@ def _add_system_args(p: argparse.ArgumentParser) -> None:
         metavar="P",
         help="per-byte corruption probability on every link; corrupted "
         "packets pay DLL replays (default 0)",
+    )
+    p.add_argument(
+        "--fidelity",
+        default="des",
+        choices=("des", "analytical"),
+        help="execution fidelity: 'des' replays every event through the "
+        "discrete-event simulator; 'analytical' predicts the metrics "
+        "in closed form from trace statistics (orders of magnitude "
+        "faster; see docs/analytical.md for the calibrated error "
+        "budget; default des)",
     )
 
 
@@ -337,7 +357,32 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         fabric=FabricConfig(error_rate=args.error_rate),
         topology=topology,
         topology_params=topology_params,
+        fidelity=getattr(args, "fidelity", "des"),
     )
+
+
+def _check_fidelity(args: argparse.Namespace) -> str:
+    """Reject flag combinations the analytical tier cannot serve."""
+    fidelity = getattr(args, "fidelity", "des")
+    if fidelity == "analytical":
+        if getattr(args, "trace_out", None):
+            raise SystemExit(
+                "--trace-out records discrete events and requires "
+                "--fidelity des"
+            )
+        if getattr(args, "error_rate", 0.0):
+            raise SystemExit(
+                "--error-rate injects event-ordered faults and requires "
+                "--fidelity des"
+            )
+    return fidelity
+
+
+def _fidelity_label(metrics: RunMetrics, refined: bool = False) -> str:
+    """Table label for which model produced a row's metrics."""
+    if refined:
+        return "des (refined)"
+    return metrics.fidelity
 
 
 def _workload(name: str):
@@ -374,6 +419,7 @@ def cmd_run(args, out) -> int:
     workload_name = args.workload_flag or args.workload
     if workload_name is None:
         raise SystemExit("run: name a workload (positionally or via --workload)")
+    _check_fidelity(args)
     tracer = None
     if args.trace_out:
         from .obs import Tracer
@@ -439,9 +485,20 @@ def _expand_workloads(spec: str) -> list[str]:
 
 
 def cmd_sweep(args, out) -> int:
-    from .run import RunSpec, labeled_sweep
+    from .run import RunSpec, labeled_sweep, refine_top_k
 
     jobs = _check_jobs(args)
+    fidelity = _check_fidelity(args)
+    if args.refine_top:
+        if args.refine_top < 0:
+            raise SystemExit(
+                f"--refine-top must be >= 0, got {args.refine_top}"
+            )
+        if fidelity != "analytical":
+            raise SystemExit(
+                "--refine-top confirms a cheap sweep's winners at DES "
+                "fidelity and requires --fidelity analytical"
+            )
     names = _expand_workloads(args.workload)
     config = _config(args)
     tracers: dict[str, object] = {}
@@ -492,6 +549,16 @@ def cmd_sweep(args, out) -> int:
             tracer_factory=tracer_factory,
             **resilience,
         )
+        refined_labels: set[str] = set()
+        if args.refine_top:
+            run, refined_labels = refine_top_k(
+                run,
+                labeled,
+                args.refine_top,
+                jobs=jobs,
+                trace_cache=args.trace_cache,
+                **resilience,
+            )
         for k, v in run.cache_stats().items():
             cache_stats[k] += v
         for k, v in run.retry_stats.items():
@@ -500,7 +567,8 @@ def cmd_sweep(args, out) -> int:
             outcome_cache[k] = outcome_cache.get(k, 0) + v
         failures += run.failures
         rows += [
-            [p.label, p.speedup, p.metrics.goodput,
+            [p.label, _fidelity_label(p.metrics, p.label in refined_labels),
+             p.speedup, p.metrics.goodput,
              p.metrics.wire_bytes / 1e6,
              p.metrics.packets.mean_stores_per_packet]
             for p in run.result.points
@@ -508,7 +576,8 @@ def cmd_sweep(args, out) -> int:
     print(
         format_table(
             f"{args.workload}: {args.param} sweep",
-            ["config", "speedup", "goodput", "wire_MB", "stores/pkt"],
+            ["config", "fidelity", "speedup", "goodput", "wire_MB",
+             "stores/pkt"],
             rows,
             float_fmt="{:.2f}",
         ),
@@ -531,6 +600,7 @@ def cmd_sweep(args, out) -> int:
 
 def cmd_compare(args, out) -> int:
     jobs = _check_jobs(args)
+    _check_fidelity(args)
     result = compare_paradigms(
         _workload(args.workload),
         tuple(args.paradigms),
@@ -542,6 +612,7 @@ def cmd_compare(args, out) -> int:
     rows = [
         [
             p,
+            _fidelity_label(result.runs[p]),
             result.speedup(p),
             result.runs[p].total_time_ns / 1e6,
             result.runs[p].wire_bytes / 1e6,
@@ -553,7 +624,8 @@ def cmd_compare(args, out) -> int:
         format_table(
             f"{args.workload}: {args.gpus}-GPU comparison "
             f"(1-GPU time {result.single_gpu.total_time_ns / 1e6:.3f} ms)",
-            ["paradigm", "speedup", "time_ms", "wire_MB", "stores/pkt"],
+            ["paradigm", "fidelity", "speedup", "time_ms", "wire_MB",
+             "stores/pkt"],
             rows,
             float_fmt="{:.2f}",
         ),
@@ -621,6 +693,11 @@ def cmd_chaos(args, out) -> int:
         return 0
     if args.workload is None:
         raise SystemExit("chaos: name a workload (or use --list)")
+    if getattr(args, "fidelity", "des") == "analytical":
+        raise SystemExit(
+            "chaos sweeps inject event-ordered faults and require "
+            "--fidelity des"
+        )
     schedule = load_scenario(args.scenario)
     tracers: dict[str, object] = {}
     tracer_factory = None
@@ -779,6 +856,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PARADIGMS),
         help="paradigm ladder for paradigm sweeps (default p2p dma "
         "finepack)",
+    )
+    p.add_argument(
+        "--refine-top",
+        type=int,
+        default=0,
+        metavar="K",
+        help="after an analytical sweep, re-run the K fastest points "
+        "per workload (plus the baseline) at DES fidelity and report "
+        "the confirmed numbers; rows show 'des (refined)' (requires "
+        "--fidelity analytical)",
     )
     _add_system_args(p)
     _add_topology_args(p)

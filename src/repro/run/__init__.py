@@ -51,6 +51,7 @@ from .executor import (
     aggregate_cache_stats,
     execute_grid,
     labeled_sweep,
+    refine_top_k,
 )
 from .outcomes import OUTCOME_ENV, OutcomeStore
 from .resilience import (
@@ -73,6 +74,7 @@ __all__ = [
     "aggregate_cache_stats",
     "execute_grid",
     "labeled_sweep",
+    "refine_top_k",
     "freeze_params",
     "OutcomeStore",
     "OUTCOME_ENV",

@@ -158,7 +158,21 @@ class RunContext:
 
     def run(self) -> RunMetrics:
         """Replay the trace; raises :class:`DegradedRunError` like
-        :meth:`MultiGPUSystem.run` does."""
+        :meth:`MultiGPUSystem.run` does.
+
+        At ``fidelity="analytical"`` the trace is never replayed: the
+        metrics come from :func:`repro.analytical.predict_metrics`
+        (closed form, no event loop, no system built).
+        """
+        if self.spec.fidelity == "analytical":
+            if self.tracer is not None:
+                raise ValueError(
+                    "tracers observe discrete events; analytical fidelity "
+                    "produces none (use fidelity='des' to trace this run)"
+                )
+            from ..analytical import predict_metrics
+
+            return predict_metrics(self.spec, self.trace)
         return self.system.run(self.trace, self.paradigm, tracer=self.tracer)
 
     def execute(self) -> RunOutcome:

@@ -807,3 +807,76 @@ def labeled_sweep(
         outcome_cache=dict(grid.outcome_cache),
         retry_stats=dict(grid.retry_stats),
     )
+
+
+def _sum_counters(a: Mapping[str, int], b: Mapping[str, int]) -> dict:
+    """Key-wise sum of two counter dicts (union of keys)."""
+    return {k: a.get(k, 0) + b.get(k, 0) for k in {*a, *b}}
+
+
+def refine_top_k(
+    sweep: SweepRun,
+    labeled_specs: Mapping[str, RunSpec],
+    k: int,
+    jobs: int = 1,
+    trace_cache: TraceCache | str | Path | None = None,
+    **resilience,
+) -> tuple[SweepRun, set[str]]:
+    """Re-run a sweep's top-``k`` points (by speedup) at DES fidelity.
+
+    The cheap-fidelity sweep ranks the design space; the winners are
+    then confirmed at full fidelity: the top ``k`` labels and a fresh
+    single-GPU baseline are re-executed with ``fidelity="des"`` and
+    their rows substituted into the returned :class:`SweepRun` (same
+    label order as the input sweep).  Refined points' speedups are
+    normalized against the DES baseline; unrefined points keep their
+    original (cheap-fidelity) numbers.
+
+    Returns ``(merged sweep, refined labels)``.  ``k <= 0`` is a no-op.
+    """
+    from ..sim.sweep import SweepResult
+
+    if k <= 0 or not sweep.result.points:
+        return sweep, set()
+    ranked = sorted(
+        sweep.result.points, key=lambda p: p.speedup, reverse=True
+    )
+    top = [p.label for p in ranked[:k]]
+    des_specs = {
+        label: labeled_specs[label].with_options(fidelity="des")
+        for label in top
+    }
+    refined = labeled_sweep(
+        des_specs,
+        jobs=jobs,
+        trace_cache=trace_cache,
+        baseline=sweep.baseline.spec.with_options(fidelity="des"),
+        **resilience,
+    )
+    refined_points = {p.label: p for p in refined.result.points}
+    refined_outcomes = {o.spec.key(): o for o in refined.outcomes}
+    merged = SweepResult(workload=sweep.result.workload)
+    merged_outcomes: list[RunOutcome] = []
+    for point, outcome in zip(sweep.result.points, sweep.outcomes):
+        replacement = refined_points.get(point.label)
+        if replacement is not None:
+            merged.points.append(replacement)
+            merged_outcomes.append(
+                refined_outcomes.get(
+                    des_specs[point.label].key(), outcome
+                )
+            )
+        else:
+            merged.points.append(point)
+            merged_outcomes.append(outcome)
+    return (
+        SweepRun(
+            result=merged,
+            baseline=refined.baseline,
+            outcomes=merged_outcomes,
+            failures=[*sweep.failures, *refined.failures],
+            outcome_cache=_sum_counters(sweep.outcome_cache, refined.outcome_cache),
+            retry_stats=_sum_counters(sweep.retry_stats, refined.retry_stats),
+        ),
+        set(refined_points),
+    )

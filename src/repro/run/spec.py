@@ -98,6 +98,12 @@ class RunSpec:
         Optional fault scenario as canonical JSON (the
         :class:`~repro.faults.schedule.FaultSchedule` schema) and the
         intensity the schedule is scaled to at run time.
+    fidelity:
+        ``"des"`` (default) runs the discrete-event simulator;
+        ``"analytical"`` predicts the metrics in closed form via
+        :func:`repro.analytical.predict_metrics` (no event loop; see
+        ``docs/analytical.md`` for the cost model and its calibrated
+        error budget).  Fault scenarios require ``"des"``.
     """
 
     workload: str
@@ -117,10 +123,20 @@ class RunSpec:
     with_credits: bool = False
     scenario: str | None = None
     intensity: float = 1.0
+    fidelity: str = "des"
 
     def __post_init__(self) -> None:
         if not self.workload:
             raise ValueError("spec needs a workload name")
+        if self.fidelity not in ("des", "analytical"):
+            raise ValueError(
+                f"fidelity must be 'des' or 'analytical': {self.fidelity!r}"
+            )
+        if self.fidelity == "analytical" and self.scenario is not None:
+            raise ValueError(
+                "fault scenarios are event-ordered and cannot be modeled "
+                "analytically; use fidelity='des' for this spec"
+            )
         if self.n_gpus < 1:
             raise ValueError(f"n_gpus must be >= 1: {self.n_gpus}")
         if self.iterations < 1:

@@ -250,6 +250,14 @@ class RunMetrics:
     #: partial: accumulated up to the degraded iteration).
     degraded: bool = False
 
+    # Which model produced these metrics: "des" (the event simulator)
+    # or "analytical" (repro.analytical's closed-form predictions).
+    # Deliberately an *unannotated* class attribute, not a dataclass
+    # field: the analytical tier overrides it per instance (surviving
+    # pickling via __dict__) without perturbing dataclass equality or
+    # the golden fingerprint canonicalization, which iterate fields.
+    fidelity = "des"
+
     @property
     def wire_bytes(self) -> int:
         return self.bytes.total
@@ -284,4 +292,6 @@ class RunMetrics:
             out["fault_stall_ms"] = round(f.fault_stall_ns / 1e6, 4)
         if self.degraded:
             out["degraded"] = True
+        if self.fidelity != "des":
+            out["fidelity"] = self.fidelity
         return out

@@ -61,6 +61,9 @@ class ExperimentConfig:
     #: :data:`repro.run.spec.Params`.
     topology: str | None = None
     topology_params: tuple = ()
+    #: Execution fidelity: ``"des"`` or ``"analytical"`` (see
+    #: :attr:`repro.run.RunSpec.fidelity`).
+    fidelity: str = "des"
 
     def spec_fields(self) -> dict:
         """This config as :class:`repro.run.RunSpec` field values."""
@@ -76,6 +79,7 @@ class ExperimentConfig:
             "topology": self.topology
             or ("two_level" if self.two_level else None),
             "topology_params": self.topology_params,
+            "fidelity": self.fidelity,
         }
 
 

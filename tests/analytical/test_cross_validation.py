@@ -1,0 +1,71 @@
+"""Cross-validation of the analytical predictor against the DES.
+
+A small slice of the calibration grid (`tools/calibrate_analytical.py`
+runs the full 39-cell version and gates the medians in CI): for each
+cell, replay the trace through the discrete-event simulator and predict
+the same spec analytically, then hold the headline metrics to the
+documented error budget.  Useful bytes are exact by construction --
+both tiers classify the identical delivered-interval algebra -- so any
+drift there is a bug, not model error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.run import RunContext, RunSpec
+
+BUDGET = 0.10  # documented per-cell budget for these metrics
+CELLS = [
+    (workload, paradigm)
+    for workload in ("jacobi", "diffusion", "allgather")
+    for paradigm in ("p2p", "dma", "finepack")
+]
+
+
+def _rel_err(predicted: float, measured: float) -> float:
+    if measured == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return abs(predicted - measured) / measured
+
+
+@pytest.fixture(scope="module")
+def grid():
+    out = {}
+    for workload, paradigm in CELLS:
+        spec = RunSpec(workload=workload, paradigm=paradigm, iterations=2)
+        des = RunContext(spec).run()
+        ana = RunContext(spec.with_options(fidelity="analytical")).run()
+        out[(workload, paradigm)] = (des, ana)
+    return out
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"{c[0]}-{c[1]}")
+def test_wire_bytes_within_budget(grid, cell):
+    des, ana = grid[cell]
+    assert _rel_err(ana.wire_bytes, des.wire_bytes) <= BUDGET
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"{c[0]}-{c[1]}")
+def test_payload_within_budget(grid, cell):
+    des, ana = grid[cell]
+    assert _rel_err(ana.bytes.payload, des.bytes.payload) <= BUDGET
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"{c[0]}-{c[1]}")
+def test_goodput_within_budget(grid, cell):
+    des, ana = grid[cell]
+    assert _rel_err(ana.goodput, des.goodput) <= BUDGET
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"{c[0]}-{c[1]}")
+def test_useful_bytes_exact(grid, cell):
+    des, ana = grid[cell]
+    assert ana.bytes.useful == pytest.approx(des.bytes.useful)
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"{c[0]}-{c[1]}")
+def test_fidelity_labels(grid, cell):
+    des, ana = grid[cell]
+    assert des.fidelity == "des"
+    assert ana.fidelity == "analytical"

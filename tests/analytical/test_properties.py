@@ -1,0 +1,102 @@
+"""Byte-conservation properties of the analytical tier over collective
+schedules.
+
+Collective workloads carry a closed-form traffic oracle in their trace
+metadata (``total_wire_payload = schedule.total_bytes() * iterations``),
+so Hypothesis can sweep the algorithm/rank/size/granularity space and
+check the analytical predictor against it with no simulator in the
+loop: p2p and DMA ship exactly the schedule's bytes, FinePack never
+ships more than p2p (deduplication can only help), and the
+useful/redundant/unread byte classification always partitions the
+payload.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical import predict_metrics
+from repro.run import RunSpec
+from repro.workloads.collectives import (
+    AllGatherWorkload,
+    AllToAllWorkload,
+    PipelineWorkload,
+    RingAllReduceWorkload,
+    TreeAllReduceWorkload,
+)
+
+WORKLOAD_CLASSES = (
+    RingAllReduceWorkload,
+    TreeAllReduceWorkload,
+    AllGatherWorkload,
+    AllToAllWorkload,
+    PipelineWorkload,
+)
+
+collective_s = st.builds(
+    lambda cls, msg, chunk, fine: cls(
+        message_bytes=msg, chunk_bytes=chunk, fine_grained=fine
+    ),
+    st.sampled_from(WORKLOAD_CLASSES),
+    st.integers(min_value=256, max_value=16_384),
+    st.sampled_from([1024, 4096]),
+    st.booleans(),
+)
+n_gpus_s = st.sampled_from([2, 4, 8])
+
+
+def _predict(workload, paradigm: str, n_gpus: int):
+    trace = workload.generate_trace(n_gpus, iterations=1)
+    spec = RunSpec.for_workload(
+        workload, paradigm, n_gpus=n_gpus, iterations=1, fidelity="analytical"
+    )
+    metrics = predict_metrics(spec, trace)
+    return trace, metrics
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=collective_s, n_gpus=n_gpus_s)
+def test_p2p_ships_exactly_the_schedule_bytes(workload, n_gpus):
+    trace, metrics = _predict(workload, "p2p", n_gpus)
+    assert metrics.bytes.payload == trace.metadata["total_wire_payload"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=collective_s, n_gpus=n_gpus_s)
+def test_dma_ships_exactly_the_schedule_bytes(workload, n_gpus):
+    trace, metrics = _predict(workload, "dma", n_gpus)
+    assert metrics.bytes.payload == trace.metadata["total_wire_payload"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=collective_s, n_gpus=n_gpus_s)
+def test_finepack_never_ships_more_than_p2p(workload, n_gpus):
+    trace, fp = _predict(workload, "finepack", n_gpus)
+    _, p2p = _predict(workload, "p2p", n_gpus)
+    assert 0 <= fp.bytes.payload <= p2p.bytes.payload
+    # Packing only batches stores; it cannot manufacture or lose
+    # delivered data, so the useful bytes agree with p2p exactly.
+    assert fp.bytes.useful == p2p.bytes.useful
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    workload=collective_s,
+    n_gpus=n_gpus_s,
+    paradigm=st.sampled_from(["p2p", "dma", "finepack", "wc"]),
+)
+def test_byte_categories_partition_the_payload(workload, n_gpus, paradigm):
+    _, metrics = _predict(workload, paradigm, n_gpus)
+    b = metrics.bytes
+    assert b.useful >= 0
+    assert b.wasted_redundant >= 0
+    assert b.wasted_unread >= 0
+    assert b.overhead >= 0
+    assert b.payload == pytest.approx(
+        b.useful + b.wasted_redundant + b.wasted_unread
+    )
+    assert b.useful <= b.payload + 1e-9
+    assert 0.0 <= metrics.goodput <= 1.0
+    assert metrics.fidelity == "analytical"

@@ -1,0 +1,298 @@
+#!/usr/bin/env python
+"""Calibration harness for the analytical fidelity tier (``make calibrate``).
+
+Cross-validates :func:`repro.analytical.predict_metrics` against the
+discrete-event simulator over the calibration grid -- the 8-workload
+core suite on the default 4-GPU single switch plus the 5 collectives
+on an 8-GPU fat tree, each under p2p, dma and finepack -- and records
+a per-metric relative-error table into ``BENCH_core.json`` (under the
+``"analytical"`` key, next to the fast-path perf suites).
+
+Two gates (both must pass for exit 0):
+
+* **error budget** -- the median relative error of the analytical
+  wire/payload/goodput predictions across the grid must be at most
+  ``--budget`` (default 0.10).  Byte errors are deterministic: the
+  same grid produces the same table on every machine.
+* **sweep speedup** -- a design-space sweep of >= 500 specs (the
+  calibration cells fanned across PCIe generations, sub-header sizes,
+  queue capacities and barrier costs) must run at least
+  ``--min-sweep-speedup`` (default 50) times faster analytically than
+  the DES would take.  The analytical side is *measured* wall clock
+  (traces pre-generated, exactly like a warm-cache DES sweep); the DES
+  side is *extrapolated* -- each sweep spec is priced at its
+  (workload, paradigm) calibration cell's measured DES replay time,
+  since gen/sub-header/barrier variations do not change the event
+  count materially.  The report labels the DES figure as an
+  extrapolation; per-cell measured DES/analytical ratios are also
+  recorded.
+
+Usage::
+
+    python tools/calibrate_analytical.py [--out BENCH_core.json]
+        [--budget 0.10] [--min-sweep-speedup 50] [--skip-sweep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(_SRC))
+
+from repro.interconnect.pcie import GENERATIONS  # noqa: E402
+from repro.core.config import FinePackConfig  # noqa: E402
+from repro.run import RunContext, RunSpec, TraceCache  # noqa: E402
+
+HPC_WORKLOADS = ("als", "ct", "diffusion", "eqwp", "hit", "jacobi", "pagerank", "sssp")
+COLLECTIVES = ("allreduce_ring", "allreduce_tree", "allgather", "alltoall", "pipeline")
+PARADIGMS = ("p2p", "dma", "finepack")
+
+#: Collective cells run at fabric scale (hop-overlapping fat tree).
+COLLECTIVE_SHAPE = {"n_gpus": 8, "topology": "fat_tree"}
+
+#: Metrics the error table covers.  The budget is asserted on the
+#: starred subset; the rest are reported for the docs' error table.
+ERROR_METRICS = ("wire", "payload", "useful", "goodput", "messages", "time")
+BUDGET_METRICS = ("wire", "payload", "goodput")
+
+
+def _grid_specs() -> list[RunSpec]:
+    specs = []
+    for w in HPC_WORKLOADS:
+        for p in PARADIGMS:
+            specs.append(RunSpec(workload=w, paradigm=p))
+    for w in COLLECTIVES:
+        for p in PARADIGMS:
+            specs.append(RunSpec(workload=w, paradigm=p, **COLLECTIVE_SHAPE))
+    return specs
+
+
+def _rel_err(predicted: float, measured: float) -> float:
+    if measured == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return abs(predicted - measured) / measured
+
+
+def _cell_errors(ana, des) -> dict[str, float]:
+    return {
+        "wire": _rel_err(ana.bytes.total, des.bytes.total),
+        "payload": _rel_err(ana.bytes.payload, des.bytes.payload),
+        "useful": _rel_err(ana.bytes.useful, des.bytes.useful),
+        "goodput": _rel_err(ana.goodput, des.goodput),
+        "messages": _rel_err(ana.packets.messages, des.packets.messages),
+        "time": _rel_err(ana.total_time_ns, des.total_time_ns),
+    }
+
+
+def _timed_run(spec: RunSpec, cache: TraceCache):
+    """(metrics, wall seconds) with trace generation excluded."""
+    ctx = RunContext(spec, trace_cache=cache)
+    ctx.trace  # pre-generate so the clock sees only the replay/model
+    t0 = time.perf_counter()
+    metrics = ctx.run()
+    return metrics, time.perf_counter() - t0
+
+
+def calibrate(cache: TraceCache) -> tuple[list[dict], dict[str, float]]:
+    """Run the grid at both fidelities; per-cell error/timing rows."""
+    cells = []
+    des_times: dict[tuple[str, str], float] = {}
+    for spec in _grid_specs():
+        des, des_s = _timed_run(spec, cache)
+        ana, ana_s = _timed_run(spec.with_options(fidelity="analytical"), cache)
+        des_times[(spec.workload, spec.paradigm)] = des_s
+        cells.append(
+            {
+                "workload": spec.workload,
+                "paradigm": spec.paradigm,
+                "topology": spec.topology or "single_switch",
+                "n_gpus": spec.n_gpus,
+                "errors": {k: round(v, 6) for k, v in _cell_errors(ana, des).items()},
+                "des_ms": round(des_s * 1e3, 3),
+                "analytical_ms": round(ana_s * 1e3, 3),
+                "cell_speedup": round(des_s / ana_s, 2) if ana_s else None,
+            }
+        )
+        print(
+            f"  {spec.workload:>14}/{spec.paradigm:<8} "
+            f"wire_err={cells[-1]['errors']['wire']:.4f} "
+            f"des={des_s * 1e3:7.1f}ms ana={ana_s * 1e3:6.1f}ms",
+            flush=True,
+        )
+    return cells, des_times
+
+
+def design_sweep_specs() -> list[RunSpec]:
+    """The >= 500-spec design space swept analytically.
+
+    Every calibration cell fanned across PCIe generations; finepack
+    cells additionally across sub-header sizes and queue capacities,
+    p2p/dma cells across barrier costs: 42 variants per workload.
+    """
+    shapes = [(w, {}) for w in HPC_WORKLOADS]
+    shapes += [(w, COLLECTIVE_SHAPE) for w in COLLECTIVES]
+    specs = []
+    for workload, shape in shapes:
+        for gen in (3, 4, 5):
+            generation = GENERATIONS[gen]
+            for paradigm in ("p2p", "dma"):
+                for barrier in (1_000.0, 2_000.0):
+                    specs.append(
+                        RunSpec(
+                            workload=workload,
+                            paradigm=paradigm,
+                            generation=generation,
+                            barrier_ns=barrier,
+                            fidelity="analytical",
+                            **shape,
+                        )
+                    )
+            for sub in (2, 3, 4, 5, 6):
+                for entries in (32, 64):
+                    specs.append(
+                        RunSpec(
+                            workload=workload,
+                            paradigm="finepack",
+                            generation=generation,
+                            finepack=FinePackConfig(
+                                subheader_bytes=sub,
+                                queue_entries_per_partition=entries,
+                            ),
+                            fidelity="analytical",
+                            **shape,
+                        )
+                    )
+    return specs
+
+
+def run_sweep(
+    cache: TraceCache, des_times: dict[tuple[str, str], float]
+) -> dict:
+    """Measured analytical sweep vs extrapolated DES cost."""
+    specs = design_sweep_specs()
+    for spec in specs:  # warm the trace cache outside the clock
+        RunContext(spec, trace_cache=cache).trace
+    t0 = time.perf_counter()
+    results = [RunContext(s, trace_cache=cache).run() for s in specs]
+    analytical_s = time.perf_counter() - t0
+    des_s = sum(des_times[(s.workload, s.paradigm)] for s in specs)
+    best = max(zip(specs, results), key=lambda sr: sr[1].efficiency)
+    return {
+        "specs": len(specs),
+        "analytical_s": round(analytical_s, 3),
+        "des_extrapolated_s": round(des_s, 3),
+        "des_basis": "extrapolated: each spec priced at its (workload, "
+        "paradigm) calibration cell's measured DES replay time",
+        "speedup": round(des_s / analytical_s, 1),
+        "best_efficiency_spec": {
+            "workload": best[0].workload,
+            "paradigm": best[0].paradigm,
+            "efficiency": round(best[1].efficiency, 4),
+        },
+    }
+
+
+def summarize(cells: list[dict]) -> dict:
+    """Median/max error per metric, overall and per paradigm."""
+    def table(rows):
+        out = {}
+        for m in ERROR_METRICS:
+            errs = [r["errors"][m] for r in rows]
+            out[m] = {
+                "median": round(statistics.median(errs), 6),
+                "max": round(max(errs), 6),
+            }
+        return out
+
+    per_paradigm = {
+        p: table([c for c in cells if c["paradigm"] == p]) for p in PARADIGMS
+    }
+    return {"overall": table(cells), "per_paradigm": per_paradigm}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="merge the report into this JSON file under the "
+                    "'analytical' key (existing keys preserved)")
+    ap.add_argument("--budget", type=float, default=0.10,
+                    help="max median relative error for wire/payload/"
+                    "goodput (default 0.10)")
+    ap.add_argument("--min-sweep-speedup", type=float, default=50.0,
+                    help="min analytical-vs-DES speedup at design-sweep "
+                    "scale (default 50)")
+    ap.add_argument("--skip-sweep", action="store_true",
+                    help="calibrate the error table only (skip the "
+                    "speedup gate)")
+    args = ap.parse_args(argv)
+
+    cache = TraceCache()
+    print(f"calibrating {len(_grid_specs())} cells (DES + analytical)...")
+    cells, des_times = calibrate(cache)
+    errors = summarize(cells)
+
+    report = {
+        "grid": {
+            "hpc_workloads": list(HPC_WORKLOADS),
+            "collectives": list(COLLECTIVES),
+            "paradigms": list(PARADIGMS),
+            "collective_shape": COLLECTIVE_SHAPE,
+        },
+        "cells": cells,
+        "errors": errors,
+        "error_budget": {m: args.budget for m in BUDGET_METRICS},
+    }
+
+    failures = []
+    for m in BUDGET_METRICS:
+        med = errors["overall"][m]["median"]
+        if med > args.budget:
+            failures.append(
+                f"median {m} error {med:.4f} exceeds budget {args.budget:.2f}"
+            )
+    print("\nerror medians (overall):")
+    for m in ERROR_METRICS:
+        e = errors["overall"][m]
+        gate = " <= budget" if m in BUDGET_METRICS else ""
+        print(f"  {m:>8}: median={e['median']:.4f} max={e['max']:.4f}{gate}")
+
+    if not args.skip_sweep:
+        print("\ndesign-space sweep (analytical, measured)...")
+        sweep = run_sweep(cache, des_times)
+        report["sweep"] = {**sweep, "min_speedup": args.min_sweep_speedup}
+        print(
+            f"  {sweep['specs']} specs in {sweep['analytical_s']:.2f}s "
+            f"analytical vs {sweep['des_extrapolated_s']:.1f}s DES "
+            f"(extrapolated): {sweep['speedup']:.0f}x"
+        )
+        if sweep["speedup"] < args.min_sweep_speedup:
+            failures.append(
+                f"sweep speedup {sweep['speedup']:.1f}x below the "
+                f"{args.min_sweep_speedup:.0f}x floor"
+            )
+
+    report["passed"] = not failures
+
+    if args.out:
+        path = Path(args.out)
+        doc = json.loads(path.read_text()) if path.exists() else {}
+        doc["analytical"] = report
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"\nwrote {path} ['analytical']")
+
+    if failures:
+        for f in failures:
+            print(f"GATE FAILED: {f}", file=sys.stderr)
+        return 1
+    print("all calibration gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
